@@ -1,0 +1,78 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) and prints them in order. Use -quick for a
+// reduced Figure 10 sweep and smaller ring diameters.
+//
+//	experiments           # full reproduction (a few minutes)
+//	experiments -quick    # seconds
+//	experiments -only fig14,fig17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"eventnet/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced parameter sweeps")
+	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, k := range strings.Split(*only, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			want[strings.ToLower(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	if sel("tables") {
+		fmt.Println(exp.TableCompile())
+		fmt.Println(exp.TableOptimize())
+	}
+	if sel("fig10") {
+		if *quick {
+			fmt.Println(exp.Fig10(1000, 250, 3))
+		} else {
+			fmt.Println(exp.Fig10(5000, 100, 10))
+		}
+	}
+	if sel("fig11") {
+		fmt.Println(exp.Fig11())
+	}
+	if sel("fig12") {
+		fmt.Println(exp.Fig12())
+	}
+	if sel("fig13") {
+		fmt.Println(exp.Fig13())
+	}
+	if sel("fig14") {
+		fmt.Println(exp.Fig14())
+	}
+	if sel("fig15") {
+		fmt.Println(exp.Fig15())
+	}
+	if sel("fig16a") {
+		ds := []int{2, 3, 4, 5, 6, 7, 8}
+		if *quick {
+			ds = []int{2, 4, 6}
+		}
+		fmt.Println(exp.Fig16a(ds))
+	}
+	if sel("fig16b") {
+		ds := []int{3, 4, 5, 6, 7, 8}
+		if *quick {
+			ds = []int{3, 5, 7}
+		}
+		fmt.Println(exp.Fig16b(ds))
+	}
+	if sel("fig17") {
+		trials := 20
+		if *quick {
+			trials = 5
+		}
+		fmt.Println(exp.Fig17(trials, 42))
+	}
+}

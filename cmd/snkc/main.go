@@ -1,0 +1,166 @@
+// Command snkc is the Stateful NetKAT compiler driver: it takes a program
+// (a source file, or one of the built-in paper applications), runs the
+// full pipeline — projection, event extraction, ETS checks, NES
+// construction, flow-table generation — and prints the artifacts.
+//
+// Usage:
+//
+//	snkc -app firewall
+//	snkc -src prog.snk -init 0,0 -topo star
+//	snkc -app ids -optimize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/ets"
+	"eventnet/internal/flowtable"
+	"eventnet/internal/optimize"
+	"eventnet/internal/stateful"
+	"eventnet/internal/syntax"
+	"eventnet/internal/topo"
+)
+
+func main() {
+	appName := flag.String("app", "", "built-in application: firewall, learning-switch, authentication, bandwidth-cap, ids, ring")
+	srcPath := flag.String("src", "", "Stateful NetKAT source file")
+	topoName := flag.String("topo", "firewall", "topology for -src: firewall, learning-switch, star, ring")
+	initVec := flag.String("init", "0", "initial state vector for -src, e.g. 0,0")
+	ringD := flag.Int("diameter", 3, "ring diameter (for ring app/topology)")
+	capN := flag.Int("cap", 10, "bandwidth cap n")
+	doOpt := flag.Bool("optimize", false, "run the Section 5.3 rule-sharing heuristic")
+	showTables := flag.Bool("tables", false, "print per-configuration flow tables")
+	unroll := flag.Int("unroll", 4, "unrolling bound for programs with state-graph loops")
+	flag.Parse()
+
+	prog, tp, name, err := loadProgram(*appName, *srcPath, *topoName, *initVec, *ringD, *capN)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snkc:", err)
+		os.Exit(1)
+	}
+
+	if rep, err := ets.AnalyzeLoops(prog); err == nil && rep.HasLoops {
+		fmt.Printf("note: the state graph has loops (locality %v); compiling a %d-round unrolling\n", rep.LocalityOK, *unroll)
+		e, err := ets.BuildUnrolled(prog, tp, *unroll)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snkc: ETS:", err)
+			os.Exit(1)
+		}
+		report(e, name, *doOpt, *showTables)
+		return
+	}
+	e, err := ets.Build(prog, tp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snkc: ETS:", err)
+		os.Exit(1)
+	}
+	report(e, name, *doOpt, *showTables)
+}
+
+// report prints the compiled artifacts.
+func report(e *ets.ETS, name string, doOpt, showTables bool) {
+	n, err := e.ToNES()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snkc: NES:", err)
+		os.Exit(1)
+	}
+	ld, err := n.LocallyDetermined()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snkc: locality:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("program %s\n\n", name)
+	fmt.Print(e)
+	fmt.Println()
+	fmt.Print(n)
+	fmt.Printf("locally determined: %v\n", ld)
+
+	total := 0
+	for _, v := range e.Vertices {
+		total += v.Tables.TotalRules()
+	}
+	fmt.Printf("flow rules (all configurations): %d\n", total)
+
+	if showTables {
+		for _, v := range e.Vertices {
+			fmt.Printf("\nconfiguration %v:\n%v", v.State, v.Tables)
+		}
+	}
+
+	if doOpt {
+		var tabs []flowtable.Tables
+		for _, v := range e.Vertices {
+			tabs = append(tabs, v.Tables)
+		}
+		configs, _ := optimize.FromTables(tabs)
+		g, err := optimize.Greedy(configs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snkc: optimize:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("optimized rules (trie heuristic): %d -> %d (%.1f%% saved)\n",
+			optimize.Naive(configs), g.TotalRules(),
+			100*float64(optimize.Naive(configs)-g.TotalRules())/float64(optimize.Naive(configs)))
+	}
+}
+
+func loadProgram(appName, srcPath, topoName, initVec string, ringD, capN int) (stateful.Program, *topo.Topology, string, error) {
+	if appName != "" {
+		var a apps.App
+		switch appName {
+		case "firewall":
+			a = apps.Firewall()
+		case "learning-switch":
+			a = apps.LearningSwitch()
+		case "authentication":
+			a = apps.Authentication()
+		case "bandwidth-cap":
+			a = apps.BandwidthCap(capN)
+		case "ids":
+			a = apps.IDS()
+		case "ring":
+			a = apps.Ring(ringD)
+		default:
+			return stateful.Program{}, nil, "", fmt.Errorf("unknown app %q", appName)
+		}
+		return a.Prog, a.Topo, a.Name, nil
+	}
+	if srcPath == "" {
+		return stateful.Program{}, nil, "", fmt.Errorf("one of -app or -src is required")
+	}
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		return stateful.Program{}, nil, "", err
+	}
+	var init []int
+	for _, part := range strings.Split(initVec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return stateful.Program{}, nil, "", fmt.Errorf("bad -init: %v", err)
+		}
+		init = append(init, v)
+	}
+	prog, err := syntax.ParseProgram(string(src), init)
+	if err != nil {
+		return stateful.Program{}, nil, "", err
+	}
+	var tp *topo.Topology
+	switch topoName {
+	case "firewall":
+		tp = topo.Firewall()
+	case "learning-switch":
+		tp = topo.LearningSwitch()
+	case "star":
+		tp = topo.Star()
+	case "ring":
+		tp = topo.Ring(ringD)
+	default:
+		return stateful.Program{}, nil, "", fmt.Errorf("unknown topology %q", topoName)
+	}
+	return prog, tp, srcPath, nil
+}

@@ -1,0 +1,79 @@
+package eventnet
+
+import (
+	"testing"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/netkat"
+	"eventnet/internal/sim"
+	"eventnet/internal/stateful"
+	"eventnet/internal/topo"
+)
+
+// TestCompileAllApps: the public pipeline compiles every paper
+// application and reports sensible totals.
+func TestCompileAllApps(t *testing.T) {
+	for _, a := range apps.All() {
+		sys, err := Compile(a.Prog, a.Topo)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if sys.TotalRules() == 0 {
+			t.Errorf("%s: no rules", a.Name)
+		}
+		if len(sys.NES.Events) != len(sys.ETS.Events) {
+			t.Errorf("%s: event mismatch", a.Name)
+		}
+	}
+}
+
+// TestFacadeEndToEnd drives the README quickstart through the facade.
+func TestFacadeEndToEnd(t *testing.T) {
+	app := Firewall()
+	sys, err := Compile(app.Prog, app.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sys.NewMachine(1, false)
+	if err := m.Inject("H1", netkat.Packet{apps.FieldDst: apps.H(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckTrace(m.NetTrace()); err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+
+	s := sys.NewSim(sim.PlaneKindTagged, sim.DefaultParams(), 1)
+	sim.EnableEcho(s, "H4")
+	st := sim.StartPings(s, "H1", "H4", 0, 0.1, 3, 0)
+	s.Run(2)
+	if st.Succeeded() != 3 {
+		t.Fatalf("sim pings: %d/3", st.Succeeded())
+	}
+}
+
+// TestCompileRejectsBadPrograms: the facade surfaces pipeline errors.
+func TestCompileRejectsBadPrograms(t *testing.T) {
+	tp := topo.Firewall()
+	// A cyclic program is rejected by the loop-free builder.
+	toggle := stateful.UnionC(
+		stateful.SeqC(
+			stateful.CPred{P: stateful.PState{Index: 0, Value: 0}},
+			stateful.CLinkState{Src: netkat.Location{Switch: 1, Port: 1}, Dst: netkat.Location{Switch: 4, Port: 1}, Sets: []stateful.StateSet{{Index: 0, Value: 1}}},
+		),
+		stateful.SeqC(
+			stateful.CPred{P: stateful.PState{Index: 0, Value: 1}},
+			stateful.CLinkState{Src: netkat.Location{Switch: 1, Port: 1}, Dst: netkat.Location{Switch: 4, Port: 1}, Sets: []stateful.StateSet{{Index: 0, Value: 0}}},
+		),
+	)
+	if _, err := Compile(Program{Cmd: toggle, Init: stateful.State{0}}, tp); err == nil {
+		t.Error("cyclic program accepted")
+	}
+	// Star over links is outside the compiled fragment.
+	loopy := stateful.CStar{P: stateful.CLink{Src: netkat.Location{Switch: 1, Port: 1}, Dst: netkat.Location{Switch: 4, Port: 1}}}
+	if _, err := Compile(Program{Cmd: loopy, Init: stateful.State{0}}, tp); err == nil {
+		t.Error("star over links accepted")
+	}
+}

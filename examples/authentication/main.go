@@ -1,0 +1,62 @@
+// Authentication (Figure 9c): untrusted H4 gains access to H3 only after
+// probing H1 and then H2, in that order. The example runs the timed
+// simulator under both the correct tagged plane and the uncoordinated
+// baseline and prints the two timelines side by side — Figure 13 of the
+// paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventnet"
+	"eventnet/internal/sim"
+)
+
+func run(kind sim.PlaneKind) []string {
+	app := eventnet.Authentication()
+	sys, err := eventnet.Compile(app.Prog, app.Topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := sim.DefaultParams()
+	p.InstallDelay = 2.0
+	s := sys.NewSim(kind, p, 1)
+	for _, h := range []string{"H1", "H2", "H3", "H4"} {
+		sim.EnableEcho(s, h)
+	}
+	script := []struct {
+		dst   string
+		start float64
+	}{
+		{"H3", 0.5}, {"H2", 1.5}, {"H1", 2.5}, {"H3", 3.5}, {"H2", 4.5}, {"H3", 5.5},
+	}
+	var stats []*sim.PingStats
+	for i, sc := range script {
+		stats = append(stats, sim.StartPings(s, "H4", sc.dst, sc.start, 0.25, 2, 1000*(i+1)))
+	}
+	s.Run(12)
+
+	var lines []string
+	for i, st := range stats {
+		for _, pg := range st.Pings {
+			mark := "drop"
+			if pg.Replied {
+				mark = "OK"
+			}
+			lines = append(lines, fmt.Sprintf("t=%4.2fs H4->%s %s", pg.SentAt, script[i].dst, mark))
+		}
+	}
+	return lines
+}
+
+func main() {
+	correct := run(sim.PlaneKindTagged)
+	uncoord := run(sim.PlaneKindUncoord)
+	fmt.Println("correct (event-driven consistent)   | uncoordinated baseline")
+	for i := range correct {
+		fmt.Printf("%-36s | %s\n", correct[i], uncoord[i])
+	}
+	fmt.Println("\nH3 opens only after H1 then H2 were probed in order; the baseline")
+	fmt.Println("lags each transition by the controller's install delay.")
+}

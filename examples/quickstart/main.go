@@ -1,0 +1,46 @@
+// Quickstart: compile the paper's stateful firewall (Figure 9a), execute
+// it on the Figure 7 abstract machine, watch the event-driven update
+// happen, and verify the recorded trace against the event-driven
+// consistency oracle (Definition 6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventnet"
+	"eventnet/internal/apps"
+	"eventnet/internal/netkat"
+)
+
+func main() {
+	app := eventnet.Firewall()
+	sys, err := eventnet.Compile(app.Prog, app.Topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %s: %d states, %d events, %d flow rules\n",
+		app.Name, len(sys.ETS.Vertices), len(sys.NES.Events), sys.TotalRules())
+	fmt.Print(sys.NES)
+
+	m := sys.NewMachine(1, false)
+	step := func(host string, dst int, label string) {
+		if err := m.Inject(host, netkat.Packet{apps.FieldDst: dst}); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.RunToQuiescence(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s H1 got %d, H4 got %d, s4 knows %v\n",
+			label, len(m.DeliveredTo("H1")), len(m.DeliveredTo("H4")), m.SwitchView(4))
+	}
+
+	step("H4", apps.H(1), "H4->H1 (before event):")
+	step("H1", apps.H(4), "H1->H4 (fires event):")
+	step("H4", apps.H(1), "H4->H1 (after event):")
+
+	if err := sys.CheckTrace(m.NetTrace()); err != nil {
+		log.Fatalf("consistency violated: %v", err)
+	}
+	fmt.Println("trace verified: correct per event-driven consistent update (Definition 6)")
+}

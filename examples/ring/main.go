@@ -1,0 +1,80 @@
+// Ring (Section 5.2): hosts on opposite sides of a switch ring; a signal
+// packet flips forwarding from clockwise to counterclockwise. The example
+// measures the two quantities of Figure 16: bulk-transfer goodput with
+// and without the tag/digest machinery, and the time for every switch to
+// discover the event via digest gossip versus controller broadcast.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"eventnet"
+	"eventnet/internal/apps"
+	"eventnet/internal/netkat"
+	"eventnet/internal/sim"
+)
+
+func main() {
+	diameter := flag.Int("diameter", 4, "ring diameter (switches between H1 and H2)")
+	flag.Parse()
+
+	app := eventnet.Ring(*diameter)
+	sys, err := eventnet.Compile(app.Prog, app.Topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 16a: goodput with and without tagging overhead.
+	goodput := func(tagBytes int, extraProc float64) float64 {
+		pl := sim.NewTaggedPlane(sys.NES)
+		pl.TagBytes = tagBytes
+		pl.ExtraProc = extraProc
+		p := sim.DefaultParams()
+		p.SwitchProcTime = 120e-6 // CPU-bound software switches
+		s := sim.New(app.Topo, pl, p, 1)
+		b := sim.StartBulk(s, "H1", "H2", 0.1, 2.0, 1.05/p.SwitchProcTime, 0)
+		s.Run(3)
+		return b.Goodput()
+	}
+	ref := goodput(0, 0)
+	tagged := goodput(12, 0.05)
+	fmt.Printf("diameter %d goodput: reference %.2f MB/s, tagged %.2f MB/s (%.1f%% overhead)\n",
+		*diameter, ref/1e6, tagged/1e6, 100*(ref-tagged)/ref)
+
+	// Figure 16b: event discovery, gossip vs controller broadcast.
+	for _, assist := range []bool{false, true} {
+		pl := sim.NewTaggedPlane(sys.NES)
+		p := sim.DefaultParams()
+		p.CtrlAssist = assist
+		s := sim.New(app.Topo, pl, p, 1)
+		sim.EnableEcho(s, "H2")
+		sim.StartPings(s, "H1", "H2", 0, 0.05, 400, 0)
+		s.At(1.0, func() {
+			s.Send("H1", netkat.Packet{apps.FieldSig: 1, sim.FieldSrc: apps.H(1)})
+		})
+		s.Run(25)
+		max, sum, cnt := 0.0, 0.0, 0
+		for _, sw := range app.Topo.Switches {
+			if at, ok := pl.DiscoveryTime(sw, 0); ok {
+				d := at - 1.0
+				sum += d
+				cnt++
+				if d > max {
+					max = d
+				}
+			}
+		}
+		mode := "gossip only"
+		if assist {
+			mode = "with controller"
+		}
+		if cnt == 0 {
+			fmt.Printf("discovery (%s): event never spread\n", mode)
+			continue
+		}
+		fmt.Printf("discovery (%s): %d/%d switches, max %.1f ms, avg %.1f ms\n",
+			mode, cnt, len(app.Topo.Switches), 1000*max, 1000*sum/float64(cnt))
+	}
+}

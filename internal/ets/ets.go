@@ -1,0 +1,140 @@
+// Package ets implements event-driven transition systems (Definition 7 of
+// the paper): graphs whose vertices are labeled with network
+// configurations and whose edges are labeled with events. It builds an ETS
+// from a Stateful NetKAT program (Section 3.3), checks the two conditions
+// under which the ETS's family of event-sets forms a valid NES
+// (Section 3.1), and performs the conversion to an NES.
+package ets
+
+import (
+	"fmt"
+
+	"eventnet/internal/flowtable"
+	"eventnet/internal/nes"
+	"eventnet/internal/netkat"
+	"eventnet/internal/nkc"
+	"eventnet/internal/stateful"
+	"eventnet/internal/topo"
+)
+
+// Vertex is an ETS node: a state vector together with its configuration
+// (both as a projected NetKAT policy and as compiled flow tables).
+type Vertex struct {
+	ID     int
+	State  stateful.State
+	Policy netkat.Policy
+	Tables flowtable.Tables
+}
+
+// Edge is an ETS transition labeled with an event occurrence.
+type Edge struct {
+	From, To int // vertex IDs
+	Event    int // event ID in the ETS's event universe
+}
+
+// ETS is an event-driven transition system.
+type ETS struct {
+	Vertices []Vertex
+	Edges    []Edge
+	Events   []nes.Event
+	Init     int
+	Topo     *topo.Topology
+}
+
+// Build constructs the ETS of a Stateful NetKAT program over a topology
+// (the ETS(p) function of Section 3.3): vertices are the reachable state
+// vectors with their projected-and-compiled configurations; edges carry
+// occurrence-renamed events (Section 3.1's renaming for events encountered
+// multiple times along an execution).
+func Build(p stateful.Program, t *topo.Topology) (*ETS, error) {
+	states, edges, err := p.ReachableStates()
+	if err != nil {
+		return nil, err
+	}
+	e := &ETS{Init: 0, Topo: t}
+	vid := map[string]int{}
+	for i, k := range states {
+		pol := stateful.Project(p.Cmd, k)
+		tables, err := nkc.Compile(pol, t)
+		if err != nil {
+			return nil, fmt.Errorf("ets: compiling configuration for state %v: %w", k, err)
+		}
+		e.Vertices = append(e.Vertices, Vertex{ID: i, State: k, Policy: pol, Tables: tables})
+		vid[k.Key()] = i
+	}
+
+	// Adjacency on raw (un-renamed) edges.
+	var raw []rawEdge
+	for _, ed := range edges {
+		f, ok := vid[ed.From.Key()]
+		if !ok {
+			continue
+		}
+		t2, ok := vid[ed.To.Key()]
+		if !ok {
+			return nil, fmt.Errorf("ets: edge target state %v not reachable", ed.To)
+		}
+		raw = append(raw, rawEdge{from: f, to: t2, guardKey: ed.Guard.Key() + "@" + ed.Loc.String(), guard: ed.Guard, loc: ed.Loc})
+	}
+
+	if err := checkAcyclic(len(e.Vertices), raw, e.Init); err != nil {
+		return nil, err
+	}
+	if err := e.finish(raw); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func sameCounts(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// rawEdge is an un-renamed transition during ETS construction.
+type rawEdge struct {
+	from, to int
+	guardKey string
+	guard    *netkat.Conj
+	loc      netkat.Location
+}
+
+// checkAcyclic rejects ETSs with loops (this paper's implementation, like
+// the paper's prototype, handles loop-free ETSs; Section 3.1 sketches the
+// SCC/timestamp extension).
+func checkAcyclic(nv int, raw []rawEdge, init int) error {
+	adj := make(map[int][]int, nv)
+	for _, r := range raw {
+		adj[r.from] = append(adj[r.from], r.to)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, nv)
+	var dfs func(v int) error
+	dfs = func(v int) error {
+		color[v] = gray
+		for _, w := range adj[v] {
+			switch color[w] {
+			case gray:
+				return fmt.Errorf("ets: the transition system has a loop through state %d (loop-free ETSs required)", w)
+			case white:
+				if err := dfs(w); err != nil {
+					return err
+				}
+			}
+		}
+		color[v] = black
+		return nil
+	}
+	return dfs(init)
+}

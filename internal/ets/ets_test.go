@@ -1,0 +1,306 @@
+package ets
+
+import (
+	"strings"
+	"testing"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/nes"
+	"eventnet/internal/netkat"
+	"eventnet/internal/stateful"
+	"eventnet/internal/topo"
+)
+
+func build(t *testing.T, a apps.App) *ETS {
+	t.Helper()
+	e, err := Build(a.Prog, a.Topo)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", a.Name, err)
+	}
+	return e
+}
+
+// TestFirewallETS checks the paper's description: the firewall ETS is
+// {<[0]> --(dst=H4, 4:1)--> <[1]>}.
+func TestFirewallETS(t *testing.T) {
+	e := build(t, apps.Firewall())
+	if len(e.Vertices) != 2 || len(e.Edges) != 1 || len(e.Events) != 1 {
+		t.Fatalf("shape: %d vertices, %d edges, %d events\n%v", len(e.Vertices), len(e.Edges), len(e.Events), e)
+	}
+	ev := e.Events[0]
+	if ev.Loc != (netkat.Location{Switch: 4, Port: 1}) {
+		t.Errorf("event location %v, want 4:1", ev.Loc)
+	}
+	if v, ok := ev.Guard.Eq(apps.FieldDst); !ok || v != apps.H(4) {
+		t.Errorf("event guard %v, want dst=H4", ev.Guard)
+	}
+	if !e.Vertices[e.Init].State.Equal(stateful.State{0}) {
+		t.Errorf("initial state %v", e.Vertices[e.Init].State)
+	}
+}
+
+// TestAuthenticationETS: {<[0]> --(dst=H1,1:1)--> <[1]> --(dst=H2,2:1)--> <[2]>}.
+func TestAuthenticationETS(t *testing.T) {
+	e := build(t, apps.Authentication())
+	if len(e.Vertices) != 3 || len(e.Edges) != 2 || len(e.Events) != 2 {
+		t.Fatalf("shape: %d vertices, %d edges, %d events\n%v", len(e.Vertices), len(e.Edges), len(e.Events), e)
+	}
+	locs := map[netkat.Location]bool{}
+	for _, ev := range e.Events {
+		locs[ev.Loc] = true
+	}
+	if !locs[netkat.Location{Switch: 1, Port: 1}] || !locs[netkat.Location{Switch: 2, Port: 1}] {
+		t.Errorf("event locations: %v", locs)
+	}
+}
+
+// TestBandwidthCapETS: the n=10 cap yields a 12-state chain of renamed
+// occurrences of the same (dst=H4, 4:1) event (Section 5.1).
+func TestBandwidthCapETS(t *testing.T) {
+	e := build(t, apps.BandwidthCap(10))
+	if len(e.Vertices) != 12 || len(e.Edges) != 11 || len(e.Events) != 11 {
+		t.Fatalf("shape: %d vertices, %d edges, %d events", len(e.Vertices), len(e.Edges), len(e.Events))
+	}
+	// All events share guard and location but have distinct occurrences.
+	occ := map[int]bool{}
+	for _, ev := range e.Events {
+		if ev.Loc != (netkat.Location{Switch: 4, Port: 1}) {
+			t.Errorf("event loc %v", ev.Loc)
+		}
+		if occ[ev.Occurrence] {
+			t.Errorf("duplicate occurrence %d", ev.Occurrence)
+		}
+		occ[ev.Occurrence] = true
+	}
+}
+
+// TestIDSETS mirrors the paper: 3 states, events at 1:1 then 2:1.
+func TestIDSETS(t *testing.T) {
+	e := build(t, apps.IDS())
+	if len(e.Vertices) != 3 || len(e.Edges) != 2 {
+		t.Fatalf("shape: %d vertices, %d edges\n%v", len(e.Vertices), len(e.Edges), e)
+	}
+}
+
+// TestLearningSwitchETS: two states, one event at 4:1.
+func TestLearningSwitchETS(t *testing.T) {
+	e := build(t, apps.LearningSwitch())
+	if len(e.Vertices) != 2 || len(e.Edges) != 1 {
+		t.Fatalf("shape: %d vertices, %d edges\n%v", len(e.Vertices), len(e.Edges), e)
+	}
+	if e.Events[0].Loc != (netkat.Location{Switch: 4, Port: 1}) {
+		t.Errorf("event loc %v", e.Events[0].Loc)
+	}
+}
+
+// TestRingETS: two states, one event at 2:2.
+func TestRingETS(t *testing.T) {
+	e := build(t, apps.Ring(3))
+	if len(e.Vertices) != 2 || len(e.Edges) != 1 {
+		t.Fatalf("shape: %d vertices, %d edges\n%v", len(e.Vertices), len(e.Edges), e)
+	}
+	if e.Events[0].Loc != (netkat.Location{Switch: 2, Port: 2}) {
+		t.Errorf("event loc %v", e.Events[0].Loc)
+	}
+}
+
+// TestAppsToNES: all five applications convert to valid, locally
+// determined NESs whose event-sets (Definition 4) coincide with the
+// family.
+func TestAppsToNES(t *testing.T) {
+	for _, a := range apps.All() {
+		e := build(t, a)
+		n, err := e.ToNES()
+		if err != nil {
+			t.Fatalf("%s: ToNES: %v", a.Name, err)
+		}
+		ld, err := n.LocallyDetermined()
+		if err != nil {
+			t.Fatalf("%s: LocallyDetermined: %v", a.Name, err)
+		}
+		if !ld {
+			t.Errorf("%s: not locally determined", a.Name)
+		}
+		family := n.Family()
+		sets := n.EventSets()
+		if len(family) != len(sets) {
+			t.Fatalf("%s: family (%d) and Definition-4 event-sets (%d) differ:\nfamily=%v\nsets=%v",
+				a.Name, len(family), len(sets), family, sets)
+		}
+		for i := range family {
+			if family[i] != sets[i] {
+				t.Fatalf("%s: family member %v != event-set %v", a.Name, family[i], sets[i])
+			}
+		}
+	}
+}
+
+// TestFirewallNESShape matches the worked example of Section 5.1:
+// {E0 = {} -> E1 = {(dst=H4, 4:1)}}.
+func TestFirewallNESShape(t *testing.T) {
+	n, err := build(t, apps.Firewall()).ToNES()
+	if err != nil {
+		t.Fatal(err)
+	}
+	family := n.Family()
+	if len(family) != 2 {
+		t.Fatalf("family: %v", family)
+	}
+	if family[0] != nes.Empty || family[1] != nes.Singleton(0) {
+		t.Fatalf("family: %v", family)
+	}
+	if c, ok := n.ConfigAt(nes.Empty); !ok || n.Configs[c].Label != "[0]" {
+		t.Errorf("g(empty) = %v", c)
+	}
+	if c, ok := n.ConfigAt(nes.Singleton(0)); !ok || n.Configs[c].Label != "[1]" {
+		t.Errorf("g({e0}) = %v", c)
+	}
+}
+
+// TestFiniteCompletenessViolation builds the Figure 3(c) ETS, which
+// violates finite-completeness, and checks it is rejected: e1 and e3 both
+// below {e1,e4,e3} but {e1,e3} missing. We encode it directly with a
+// hand-built program: three independent events cannot produce it, so we
+// construct the family through a diamond-with-extra-event program and
+// assert rejection.
+func TestFiniteCompletenessViolation(t *testing.T) {
+	// state encodes progress: two racing chains over distinct events where
+	// the combined set only exists with the interposed e4:
+	//   [0,0] --e1@s1--> [1,0] --e4@s2--> [1,2] --e3@s3--> [1,3]
+	//   [0,0] --e3@s3--> [0,3]
+	// Family: {}, {e1}, {e1,e4}, {e1,e4,e3}, {e3}; {e1} and {e3} have the
+	// upper bound {e1,e4,e3} but {e1,e3} is absent.
+	tp := topo.New()
+	for _, s := range []int{1, 2, 3} {
+		tp.AddSwitch(s)
+	}
+	tp.AddBiLink(netkat.Location{Switch: 1, Port: 1}, netkat.Location{Switch: 2, Port: 1})
+	tp.AddBiLink(netkat.Location{Switch: 2, Port: 2}, netkat.Location{Switch: 3, Port: 1})
+	tp.AddHost(topo.HostID(1), "H1", netkat.Location{Switch: 1, Port: 2})
+	tp.AddHost(topo.HostID(3), "H3", netkat.Location{Switch: 3, Port: 2})
+
+	st := func(i, v int) stateful.Pred { return stateful.PState{Index: i, Value: v} }
+	prog := stateful.UnionC(
+		// e1: packet a=1 from H1 arriving at s2 flips state(0) 0->1.
+		// Disabled once e3 has occurred (state(2)=3), so the family never
+		// contains {e1, e3}.
+		stateful.SeqC(
+			stateful.CPred{P: stateful.PAnd{L: stateful.PAnd{L: st(0, 0), R: st(2, 0)}, R: stateful.PTest{Field: "a", Value: 1}}},
+			stateful.CAssign{Field: netkat.FieldPt, Value: 1},
+			stateful.CLinkState{Src: netkat.Location{Switch: 1, Port: 1}, Dst: netkat.Location{Switch: 2, Port: 1}, Sets: []stateful.StateSet{{Index: 0, Value: 1}}},
+		),
+		// e4: packet a=4 arriving at s3, only after e1.
+		stateful.SeqC(
+			stateful.CPred{P: stateful.PAnd{L: stateful.PAnd{L: st(0, 1), R: st(1, 0)}, R: stateful.PTest{Field: "a", Value: 4}}},
+			stateful.CAssign{Field: netkat.FieldPt, Value: 2},
+			stateful.CLinkState{Src: netkat.Location{Switch: 2, Port: 2}, Dst: netkat.Location{Switch: 3, Port: 1}, Sets: []stateful.StateSet{{Index: 1, Value: 2}}},
+		),
+		// e3: packet a=3 arriving at s2 from s3 side; enabled initially and
+		// after e4 — producing the incomplete family.
+		stateful.SeqC(
+			stateful.CPred{P: stateful.PAnd{L: stateful.POr{L: stateful.PAnd{L: st(0, 0), R: st(1, 0)}, R: st(1, 2)}, R: stateful.PTest{Field: "a", Value: 3}}},
+			stateful.CAssign{Field: netkat.FieldPt, Value: 1},
+			stateful.CLinkState{Src: netkat.Location{Switch: 3, Port: 1}, Dst: netkat.Location{Switch: 2, Port: 2}, Sets: []stateful.StateSet{{Index: 2, Value: 3}}},
+		),
+	)
+	e, err := Build(stateful.Program{Cmd: prog, Init: stateful.State{0, 0, 0}}, tp)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	_, err = e.Family()
+	if err == nil || !strings.Contains(err.Error(), "finite-complete") {
+		t.Fatalf("expected finite-completeness rejection, got %v", err)
+	}
+}
+
+// TestConfigUniquenessViolation: two events writing the same state index
+// with different values make the event-set {e1,e2} reach different
+// configurations depending on order — violating condition 1 of
+// Section 3.1.
+func TestConfigUniquenessViolation(t *testing.T) {
+	tp := topo.Firewall()
+	mkEdge := func(field, val int, stVal int) stateful.Cmd {
+		return stateful.SeqC(
+			stateful.CPred{P: stateful.PTest{Field: "a", Value: val}},
+			stateful.CAssign{Field: netkat.FieldPt, Value: 1},
+			stateful.CLinkState{
+				Src:  netkat.Location{Switch: 1, Port: 1},
+				Dst:  netkat.Location{Switch: 4, Port: 1},
+				Sets: []stateful.StateSet{{Index: 0, Value: stVal}},
+			},
+			stateful.CAssign{Field: netkat.FieldPt, Value: 2},
+		)
+	}
+	// e1 (a=1) sets state(0)<-1; e2 (a=2) sets state(0)<-2; both enabled
+	// in every state, so [1,2] vs [2,1] orders end in different states.
+	// Forwarding differs between states so the configurations differ too.
+	differ := stateful.SeqC(
+		stateful.CPred{P: stateful.PAnd{L: stateful.PState{Index: 0, Value: 1}, R: stateful.PTest{Field: netkat.FieldPt, Value: 2}}},
+		stateful.CPred{P: stateful.PTest{Field: "b", Value: 9}},
+		stateful.CAssign{Field: netkat.FieldPt, Value: 1},
+		stateful.CLink{Src: netkat.Location{Switch: 4, Port: 1}, Dst: netkat.Location{Switch: 1, Port: 1}},
+		stateful.CAssign{Field: netkat.FieldPt, Value: 2},
+	)
+	prog := stateful.Program{
+		Cmd:  stateful.UnionC(mkEdge(0, 1, 1), mkEdge(0, 2, 2), differ),
+		Init: stateful.State{0},
+	}
+	e, err := Build(prog, tp)
+	if err != nil {
+		// Also acceptable: the builder may reject the program earlier
+		// (the two orders give the same vertex different occurrence
+		// counts), as long as it does not silently accept it.
+		t.Logf("rejected at build: %v", err)
+		return
+	}
+	if _, err := e.Family(); err == nil {
+		t.Fatal("order-dependent configurations accepted")
+	}
+}
+
+// TestDiamondNES: the distributed firewall converts to the Figure 3(a)
+// diamond NES — four event-sets, two independent events, locally
+// determined, with both interleavings allowed.
+func TestDiamondNES(t *testing.T) {
+	a := apps.DistributedFirewall()
+	e := build(t, a)
+	n, err := e.ToNES()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Family()) != 4 || len(n.Events) != 2 {
+		t.Fatalf("family %v, events %d", n.Family(), len(n.Events))
+	}
+	seqs, err := n.AllowedSequences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 4 { // e0; e1; e0,e1; e1,e0
+		t.Fatalf("allowed sequences: %v", seqs)
+	}
+	ld, err := n.LocallyDetermined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ld {
+		t.Fatal("independent events flagged non-local")
+	}
+	mis, err := n.MinimallyInconsistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mis) != 0 {
+		t.Fatalf("diamond has inconsistent sets: %v", mis)
+	}
+}
+
+// TestWalledGardenNES: two event-sets, valid and local.
+func TestWalledGardenNES(t *testing.T) {
+	n, err := build(t, apps.WalledGarden()).ToNES()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Family()) != 2 {
+		t.Fatalf("family: %v", n.Family())
+	}
+}

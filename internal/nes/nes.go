@@ -1,0 +1,283 @@
+package nes
+
+import (
+	"fmt"
+	"sort"
+
+	"eventnet/internal/flowtable"
+	"eventnet/internal/netkat"
+)
+
+// Event is one event of an NES: the arrival at Loc of a packet satisfying
+// Guard. Occurrence distinguishes renamed copies of the same (Guard, Loc)
+// pair along an execution (Section 3.1: events encountered multiple times
+// are renamed), e.g. the n packets counted by the bandwidth cap.
+type Event struct {
+	ID         int
+	Guard      *netkat.Conj
+	Loc        netkat.Location
+	Occurrence int // 1-based
+}
+
+// Matches reports whether the located packet matches the event:
+// sw = sw' ∧ pt = pt' ∧ pkt ⊨ ϕ (Section 2).
+func (e Event) Matches(lp netkat.LocatedPacket) bool {
+	return lp.Loc == e.Loc && e.Guard.Eval(lp)
+}
+
+// MatchesD reports whether a directed trace point matches the event:
+// events model packet arrivals, so only ingress-directed points match.
+func (e Event) MatchesD(d netkat.DPacket) bool {
+	return !d.Out && e.Matches(d.LP())
+}
+
+// String renders the event.
+func (e Event) String() string {
+	s := fmt.Sprintf("(%v, %v)", e.Guard, e.Loc)
+	if e.Occurrence > 1 {
+		s += fmt.Sprintf("_%d", e.Occurrence)
+	}
+	return s
+}
+
+// Config is one network configuration of the NES: its compiled flow
+// tables and its configuration relation (used by the trace oracle).
+type Config struct {
+	ID     int
+	Label  string // diagnostic, e.g. the state vector "[1]"
+	Tables flowtable.Tables
+	Rel    netkat.DConfig
+}
+
+// NES is a network event structure (Definition 5): an event structure
+// (E, con, ⊢) plus the map g from event-sets to configurations. The
+// consistency predicate and enabling relation are derived from the family
+// of event-sets F(T) via Theorem 1.1.12 of Winskel's "Event Structures":
+//
+//	con(X)  ⇔  X ⊆ F for some F in the family
+//	X ⊢ e   ⇔  con(X) ∧ ∃Y ⊆ X : Y ∪ {e} in the family
+type NES struct {
+	Events  []Event
+	Configs []Config
+
+	family     map[Set]int // event-set -> config index (the function g)
+	familyList []Set       // sorted for deterministic iteration
+}
+
+// New builds an NES from the event universe, the family of event-sets
+// (each mapped to its configuration index), and the configurations.
+// The family must contain the empty set, and every referenced config
+// index must exist.
+func New(events []Event, family map[Set]int, configs []Config) (*NES, error) {
+	if len(events) > MaxEvents {
+		return nil, fmt.Errorf("nes: %d events exceed the %d-event tag capacity", len(events), MaxEvents)
+	}
+	if _, ok := family[Empty]; !ok {
+		return nil, fmt.Errorf("nes: family does not contain the empty event-set")
+	}
+	n := &NES{Events: events, Configs: configs, family: map[Set]int{}}
+	for s, c := range family {
+		if c < 0 || c >= len(configs) {
+			return nil, fmt.Errorf("nes: event-set %v maps to unknown config %d", s, c)
+		}
+		n.family[s] = c
+		n.familyList = append(n.familyList, s)
+	}
+	sort.Slice(n.familyList, func(i, j int) bool { return n.familyList[i] < n.familyList[j] })
+	return n, nil
+}
+
+// Family returns the family of event-sets in sorted order.
+func (n *NES) Family() []Set { return append([]Set{}, n.familyList...) }
+
+// Con is the consistency predicate: X is consistent iff it is contained
+// in some member of the family. This is downward-closed by construction
+// (Definition 3's requirement on con).
+func (n *NES) Con(x Set) bool {
+	for _, f := range n.familyList {
+		if x.SubsetOf(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Enables is the enabling relation X ⊢ e. Unfolding the least-relation
+// definition in Section 3.1, X ⊢ e holds iff con(X) and some family member
+// F contains e with F \ {e} ⊆ X.
+func (n *NES) Enables(x Set, e int) bool {
+	if !n.Con(x) {
+		return false
+	}
+	for _, f := range n.familyList {
+		if f.Has(e) && f.Without(e).SubsetOf(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConfigAt returns g(X): the configuration index for an event-set. The
+// second result is false when X is not in the family (for
+// finitely-complete families this cannot happen for any consistent union
+// of family members, which is what the runtime maintains).
+func (n *NES) ConfigAt(x Set) (int, bool) {
+	c, ok := n.family[x]
+	return c, ok
+}
+
+// NewlyEnabled returns the events e ∉ known that the located packet
+// matches and that are enabled and consistent from `known`: the set E' of
+// the SWITCH rule in Figure 7.
+func (n *NES) NewlyEnabled(known Set, lp netkat.LocatedPacket) Set {
+	out := Empty
+	for _, ev := range n.Events {
+		if known.Has(ev.ID) || out.Has(ev.ID) {
+			continue
+		}
+		if !ev.Matches(lp) {
+			continue
+		}
+		if n.Enables(known, ev.ID) && n.Con(known.With(ev.ID)) {
+			out = out.With(ev.ID)
+		}
+	}
+	return out
+}
+
+// EventSets computes the event-sets of the underlying event structure per
+// Definition 4 (consistent and reachable via the enabling relation), by
+// BFS from the empty set. For families produced by the ETS conversion this
+// equals the family itself; the equality is checked by tests.
+func (n *NES) EventSets() []Set {
+	seen := map[Set]bool{Empty: true}
+	queue := []Set{Empty}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, ev := range n.Events {
+			if s.Has(ev.ID) {
+				continue
+			}
+			t := s.With(ev.ID)
+			if seen[t] {
+				continue
+			}
+			if n.Enables(s, ev.ID) && n.Con(t) {
+				seen[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	out := make([]Set, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// maxSequences bounds allowed-sequence enumeration.
+const maxSequences = 200000
+
+// AllowedSequences enumerates every nonempty event sequence allowed by the
+// NES (Section 2: each prefix consistent and enabled). The result includes
+// non-maximal sequences, as Definition 6 quantifies over all of them.
+func (n *NES) AllowedSequences() ([][]int, error) {
+	var out [][]int
+	var cur []int
+	var rec func(s Set) error
+	rec = func(s Set) error {
+		if len(out) > maxSequences {
+			return fmt.Errorf("nes: more than %d allowed sequences", maxSequences)
+		}
+		for _, ev := range n.Events {
+			if s.Has(ev.ID) {
+				continue
+			}
+			t := s.With(ev.ID)
+			if !n.Enables(s, ev.ID) || !n.Con(t) {
+				continue
+			}
+			cur = append(cur, ev.ID)
+			out = append(out, append([]int{}, cur...))
+			if err := rec(t); err != nil {
+				return err
+			}
+			cur = cur[:len(cur)-1]
+		}
+		return nil
+	}
+	if err := rec(Empty); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// minIncEnumLimit is the largest event universe for which
+// MinimallyInconsistent enumerates exhaustively.
+const minIncEnumLimit = 20
+
+// MinimallyInconsistent returns every minimally-inconsistent set: an
+// inconsistent set all of whose proper subsets are consistent (Section 2,
+// "Locality Restrictions"). Enumeration is exhaustive for universes of at
+// most 20 events (every program in the paper is far below this).
+func (n *NES) MinimallyInconsistent() ([]Set, error) {
+	ne := len(n.Events)
+	if ne > minIncEnumLimit {
+		return nil, fmt.Errorf("nes: %d events exceed the exhaustive enumeration limit %d", ne, minIncEnumLimit)
+	}
+	var out []Set
+	for s := Set(1); s < Set(1)<<uint(ne); s++ {
+		if n.Con(s) {
+			continue
+		}
+		minimal := true
+		for _, e := range s.Elems() {
+			if !n.Con(s.Without(e)) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// LocallyDetermined reports whether every minimally-inconsistent set has
+// all of its events at the same switch — the condition that makes the NES
+// efficiently implementable without synchronization (Section 2, and the
+// premise of Lemma 3 / Theorem 1).
+func (n *NES) LocallyDetermined() (bool, error) {
+	mis, err := n.MinimallyInconsistent()
+	if err != nil {
+		return false, err
+	}
+	for _, s := range mis {
+		elems := s.Elems()
+		if len(elems) <= 1 {
+			continue
+		}
+		sw := n.Events[elems[0]].Loc.Switch
+		for _, e := range elems[1:] {
+			if n.Events[e].Loc.Switch != sw {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// String summarizes the NES.
+func (n *NES) String() string {
+	s := fmt.Sprintf("NES: %d events, %d event-sets, %d configs\n", len(n.Events), len(n.familyList), len(n.Configs))
+	for _, ev := range n.Events {
+		s += fmt.Sprintf("  e%d = %v\n", ev.ID, ev)
+	}
+	for _, f := range n.familyList {
+		s += fmt.Sprintf("  g(%v) = C%d (%s)\n", f, n.family[f], n.Configs[n.family[f]].Label)
+	}
+	return s
+}

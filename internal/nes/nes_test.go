@@ -1,0 +1,274 @@
+package nes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eventnet/internal/netkat"
+)
+
+func TestSetOps(t *testing.T) {
+	s := Empty.With(0).With(3)
+	if !s.Has(0) || !s.Has(3) || s.Has(1) {
+		t.Error("Has broken")
+	}
+	if s.Count() != 2 {
+		t.Error("Count broken")
+	}
+	if got := s.Elems(); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("Elems: %v", got)
+	}
+	if !Empty.SubsetOf(s) || !s.SubsetOf(s) || s.SubsetOf(Singleton(0)) {
+		t.Error("SubsetOf broken")
+	}
+	if s.Without(3) != Singleton(0) {
+		t.Error("Without broken")
+	}
+	if s.String() != "{0,3}" {
+		t.Errorf("String: %q", s.String())
+	}
+}
+
+func TestSetLaws(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := Set(a), Set(b)
+		return x.Union(y) == y.Union(x) &&
+			x.SubsetOf(x.Union(y)) &&
+			x.Union(x) == x &&
+			(x.SubsetOf(y) == (x.Union(y) == y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// guard builds a trivial event guard.
+func guard(field string, v int) *netkat.Conj {
+	c := netkat.NewConj()
+	c.AddEq(field, v)
+	return c
+}
+
+func mkEvent(id, sw, pt int) Event {
+	return Event{ID: id, Guard: guard("dst", 100+id), Loc: netkat.Location{Switch: sw, Port: pt}, Occurrence: 1}
+}
+
+// chainNES builds the family {}, {e0}, {e0,e1}, ... (authentication
+// shape), with event i at switch i+1.
+func chainNES(t *testing.T, n int) *NES {
+	t.Helper()
+	var events []Event
+	family := map[Set]int{Empty: 0}
+	configs := []Config{{ID: 0, Label: "[0]"}}
+	s := Empty
+	for i := 0; i < n; i++ {
+		events = append(events, mkEvent(i, i+1, 1))
+		s = s.With(i)
+		family[s] = i + 1
+		configs = append(configs, Config{ID: i + 1, Label: "[chain]"})
+	}
+	nes, err := New(events, family, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nes
+}
+
+// diamondNES: two independent events (Figure 3a): family {}, {e0}, {e1},
+// {e0,e1}.
+func diamondNES(t *testing.T, sw0, sw1 int) *NES {
+	t.Helper()
+	events := []Event{mkEvent(0, sw0, 1), mkEvent(1, sw1, 1)}
+	family := map[Set]int{Empty: 0, Singleton(0): 1, Singleton(1): 2, Singleton(0).With(1): 3}
+	configs := []Config{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}}
+	n, err := New(events, family, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// conflictNES: two mutually exclusive events (Figure 3b): family {},
+// {e0}, {e1} — con({e0,e1}) fails.
+func conflictNES(t *testing.T, sw0, sw1 int) *NES {
+	t.Helper()
+	events := []Event{mkEvent(0, sw0, 1), mkEvent(1, sw1, 1)}
+	family := map[Set]int{Empty: 0, Singleton(0): 1, Singleton(1): 2}
+	configs := []Config{{ID: 0}, {ID: 1}, {ID: 2}}
+	n, err := New(events, family, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConDownwardClosed(t *testing.T) {
+	n := chainNES(t, 3)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		x := Set(r.Uint64() & 7)
+		if !n.Con(x) {
+			continue
+		}
+		for _, e := range x.Elems() {
+			if !n.Con(x.Without(e)) {
+				t.Fatalf("con not downward closed at %v", x)
+			}
+		}
+	}
+}
+
+func TestEnablesMonotone(t *testing.T) {
+	// Definition 3: (X ⊢ e) ∧ X ⊆ Y ∧ con(Y) ⟹ Y ⊢ e.
+	n := chainNES(t, 3)
+	for x := Set(0); x < 8; x++ {
+		for e := 0; e < 3; e++ {
+			if !n.Enables(x, e) {
+				continue
+			}
+			for y := Set(0); y < 8; y++ {
+				if x.SubsetOf(y) && n.Con(y) && !n.Enables(y, e) {
+					t.Fatalf("enabling not monotone: %v ⊢ %d but %v ⊬ %d", x, e, y, e)
+				}
+			}
+		}
+	}
+}
+
+func TestChainEnabling(t *testing.T) {
+	n := chainNES(t, 3)
+	if !n.Enables(Empty, 0) {
+		t.Error("e0 not initially enabled")
+	}
+	if n.Enables(Empty, 1) {
+		t.Error("e1 enabled before e0")
+	}
+	if !n.Enables(Singleton(0), 1) {
+		t.Error("e1 not enabled after e0")
+	}
+}
+
+func TestEventSetsMatchFamily(t *testing.T) {
+	for _, n := range []*NES{chainNES(t, 4), diamondNES(t, 1, 2), conflictNES(t, 1, 1)} {
+		fam := n.Family()
+		sets := n.EventSets()
+		if len(fam) != len(sets) {
+			t.Fatalf("family %v vs event-sets %v", fam, sets)
+		}
+		for i := range fam {
+			if fam[i] != sets[i] {
+				t.Fatalf("family %v vs event-sets %v", fam, sets)
+			}
+		}
+	}
+}
+
+func TestAllowedSequences(t *testing.T) {
+	n := diamondNES(t, 1, 2)
+	seqs, err := n.AllowedSequences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// e0; e1; e0,e1; e1,e0 — four nonempty sequences.
+	if len(seqs) != 4 {
+		t.Fatalf("sequences: %v", seqs)
+	}
+
+	c := conflictNES(t, 1, 1)
+	seqs, err = c.AllowedSequences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("conflict sequences: %v", seqs)
+	}
+}
+
+func TestMinimallyInconsistent(t *testing.T) {
+	c := conflictNES(t, 1, 1)
+	mis, err := c.MinimallyInconsistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mis) != 1 || mis[0] != Singleton(0).With(1) {
+		t.Fatalf("minimally inconsistent: %v", mis)
+	}
+	d := diamondNES(t, 1, 2)
+	mis, err = d.MinimallyInconsistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mis) != 0 {
+		t.Fatalf("diamond has inconsistent sets: %v", mis)
+	}
+}
+
+// TestLocallyDetermined separates program P2 (conflict at one switch,
+// implementable) from program P1 (conflict across switches, not
+// implementable) — the Section 2 examples.
+func TestLocallyDetermined(t *testing.T) {
+	p2 := conflictNES(t, 2, 2) // both events at s2: OK
+	ld, err := p2.LocallyDetermined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ld {
+		t.Error("same-switch conflict rejected")
+	}
+	p1 := conflictNES(t, 2, 4) // events at s2 and s4: action at a distance
+	ld, err = p1.LocallyDetermined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld {
+		t.Error("cross-switch conflict accepted")
+	}
+}
+
+func TestNewlyEnabled(t *testing.T) {
+	n := chainNES(t, 2)
+	lp0 := netkat.LocatedPacket{Pkt: netkat.Packet{"dst": 100}, Loc: netkat.Location{Switch: 1, Port: 1}}
+	lp1 := netkat.LocatedPacket{Pkt: netkat.Packet{"dst": 101}, Loc: netkat.Location{Switch: 2, Port: 1}}
+	if got := n.NewlyEnabled(Empty, lp0); got != Singleton(0) {
+		t.Errorf("e0 not detected: %v", got)
+	}
+	// e1's packet at its location does not fire before e0 is known.
+	if got := n.NewlyEnabled(Empty, lp1); got != Empty {
+		t.Errorf("e1 fired prematurely: %v", got)
+	}
+	if got := n.NewlyEnabled(Singleton(0), lp1); got != Singleton(1) {
+		t.Errorf("e1 not detected after e0: %v", got)
+	}
+	// Wrong guard, right location: nothing fires.
+	bad := netkat.LocatedPacket{Pkt: netkat.Packet{"dst": 999}, Loc: netkat.Location{Switch: 1, Port: 1}}
+	if got := n.NewlyEnabled(Empty, bad); got != Empty {
+		t.Errorf("guard ignored: %v", got)
+	}
+}
+
+func TestMatchesD(t *testing.T) {
+	e := mkEvent(0, 4, 1)
+	in := netkat.DPacket{Pkt: netkat.Packet{"dst": 100}, Loc: netkat.Location{Switch: 4, Port: 1}}
+	out := in
+	out.Out = true
+	if !e.MatchesD(in) {
+		t.Error("ingress match failed")
+	}
+	if e.MatchesD(out) {
+		t.Error("egress matched (events are arrivals)")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, map[Set]int{}, nil); err == nil {
+		t.Error("missing empty set accepted")
+	}
+	if _, err := New(nil, map[Set]int{Empty: 5}, []Config{{}}); err == nil {
+		t.Error("dangling config index accepted")
+	}
+	events := make([]Event, MaxEvents+1)
+	if _, err := New(events, map[Set]int{Empty: 0}, []Config{{}}); err == nil {
+		t.Error("too many events accepted")
+	}
+}

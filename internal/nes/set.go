@@ -1,0 +1,67 @@
+// Package nes implements network event structures (Section 2,
+// Definitions 3-5 of the paper): event structures in Winskel's sense — a
+// set of events with a consistency predicate and an enabling relation —
+// extended with a map g assigning a network configuration to every
+// event-set.
+//
+// Event-sets are encoded as uint64 bitmasks, mirroring the paper's
+// implementation strategy of encoding each event-set as a flat integer tag
+// carried in a packet header field (Section 4.1).
+package nes
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxEvents is the capacity of a Set.
+const MaxEvents = 64
+
+// Set is a set of event IDs encoded as a bitmask.
+type Set uint64
+
+// Empty is the empty event-set.
+const Empty Set = 0
+
+// Singleton returns the set {e}.
+func Singleton(e int) Set { return 1 << uint(e) }
+
+// Has reports whether e is in the set.
+func (s Set) Has(e int) bool { return s&Singleton(e) != 0 }
+
+// With returns s ∪ {e}.
+func (s Set) With(e int) Set { return s | Singleton(e) }
+
+// Without returns s \ {e}.
+func (s Set) Without(e int) Set { return s &^ Singleton(e) }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// SubsetOf reports s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// Count returns |s|.
+func (s Set) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Elems returns the event IDs in ascending order.
+func (s Set) Elems() []int {
+	out := make([]int, 0, s.Count())
+	for e := 0; s != 0; e++ {
+		if s.Has(e) {
+			out = append(out, e)
+			s = s.Without(e)
+		}
+	}
+	return out
+}
+
+// String renders the set as {e0,e3,...}.
+func (s Set) String() string {
+	parts := make([]string, 0, s.Count())
+	for _, e := range s.Elems() {
+		parts = append(parts, fmt.Sprint(e))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

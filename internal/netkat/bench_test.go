@@ -1,0 +1,61 @@
+package netkat
+
+import "testing"
+
+func benchPolicy() Policy {
+	// A firewall-shaped policy: two guarded paths.
+	return Union{
+		L: SeqAll(
+			Filter{P: And{L: Test{Field: FieldPt, Value: 2}, R: Test{Field: "dst", Value: 104}}},
+			Assign{Field: FieldPt, Value: 1},
+			Link{Src: Location{Switch: 1, Port: 1}, Dst: Location{Switch: 4, Port: 1}},
+			Assign{Field: FieldPt, Value: 2},
+		),
+		R: SeqAll(
+			Filter{P: And{L: Test{Field: FieldPt, Value: 2}, R: Test{Field: "dst", Value: 101}}},
+			Assign{Field: FieldPt, Value: 1},
+			Link{Src: Location{Switch: 4, Port: 1}, Dst: Location{Switch: 1, Port: 1}},
+			Assign{Field: FieldPt, Value: 2},
+		),
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	p := benchPolicy()
+	lp := LocatedPacket{Pkt: Packet{"dst": 104}, Loc: Location{Switch: 1, Port: 2}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Eval(p, lp)
+	}
+}
+
+func BenchmarkEvalStar(b *testing.B) {
+	p := Star{P: Union{
+		L: Seq{L: Filter{P: Test{Field: "c", Value: 0}}, R: Assign{Field: "c", Value: 1}},
+		R: Seq{L: Filter{P: Test{Field: "c", Value: 1}}, R: Assign{Field: "c", Value: 2}},
+	}}
+	lp := LocatedPacket{Pkt: Packet{"c": 0}, Loc: Location{Switch: 1, Port: 1}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Eval(p, lp)
+	}
+}
+
+func BenchmarkConjEval(b *testing.B) {
+	c := NewConj()
+	c.AddEq("dst", 104)
+	c.AddNeq("src", 9)
+	lp := LocatedPacket{Pkt: Packet{"dst": 104, "src": 1}, Loc: Location{Switch: 4, Port: 1}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Eval(lp)
+	}
+}
+
+func BenchmarkPacketClone(b *testing.B) {
+	p := Packet{"dst": 104, "src": 101, "kind": 1, "id": 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Clone()
+	}
+}

@@ -1,0 +1,117 @@
+package netkat
+
+import "fmt"
+
+// StarBound caps Star fixpoint iteration; exceeding it indicates a policy
+// whose closure does not stabilize on the given packet (e.g. an unbounded
+// counter), which the supported fragment rules out.
+const StarBound = 10000
+
+// Eval runs the reference denotational semantics: it applies policy p to
+// the located packet lp and returns the resulting set of located packets in
+// canonical (sorted, deduplicated) order.
+func Eval(p Policy, lp LocatedPacket) []LocatedPacket {
+	set := evalSet(p, map[string]LocatedPacket{lp.Key(): lp})
+	out := make([]LocatedPacket, 0, len(set))
+	for _, v := range set {
+		out = append(out, v)
+	}
+	SortLocated(out)
+	return out
+}
+
+// evalSet applies p pointwise to a set of located packets.
+func evalSet(p Policy, in map[string]LocatedPacket) map[string]LocatedPacket {
+	switch q := p.(type) {
+	case Filter:
+		out := map[string]LocatedPacket{}
+		for k, lp := range in {
+			if q.P.Eval(lp) {
+				out[k] = lp
+			}
+		}
+		return out
+	case Assign:
+		out := map[string]LocatedPacket{}
+		for _, lp := range in {
+			nlp := applyAssign(q, lp)
+			out[nlp.Key()] = nlp
+		}
+		return out
+	case Union:
+		l := evalSet(q.L, in)
+		r := evalSet(q.R, in)
+		for k, v := range r {
+			l[k] = v
+		}
+		return l
+	case Seq:
+		return evalSet(q.R, evalSet(q.L, in))
+	case Star:
+		acc := map[string]LocatedPacket{}
+		for k, v := range in {
+			acc[k] = v
+		}
+		frontier := acc
+		for i := 0; ; i++ {
+			if i > StarBound {
+				panic(fmt.Sprintf("netkat: Star did not stabilize within %d iterations", StarBound))
+			}
+			next := evalSet(q.P, frontier)
+			grew := false
+			fresh := map[string]LocatedPacket{}
+			for k, v := range next {
+				if _, ok := acc[k]; !ok {
+					acc[k] = v
+					fresh[k] = v
+					grew = true
+				}
+			}
+			if !grew {
+				return acc
+			}
+			frontier = fresh
+		}
+	case Link:
+		out := map[string]LocatedPacket{}
+		for _, lp := range in {
+			if lp.Loc == q.Src {
+				nlp := LocatedPacket{Pkt: lp.Pkt, Loc: q.Dst}
+				out[nlp.Key()] = nlp
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("netkat: unknown policy node %T", p))
+	}
+}
+
+func applyAssign(a Assign, lp LocatedPacket) LocatedPacket {
+	switch a.Field {
+	case FieldPt:
+		return LocatedPacket{Pkt: lp.Pkt, Loc: Location{Switch: lp.Loc.Switch, Port: a.Value}}
+	case FieldSw:
+		panic("netkat: assignment to sw (should be rejected by Validate)")
+	default:
+		return LocatedPacket{Pkt: lp.Pkt.With(a.Field, a.Value), Loc: lp.Loc}
+	}
+}
+
+// EquivOn reports whether two policies produce identical output sets on
+// every provided input packet. It is the semantic-equivalence helper used
+// by the compiler's property tests.
+func EquivOn(p, q Policy, inputs []LocatedPacket) bool {
+	for _, lp := range inputs {
+		a := Eval(p, lp)
+		b := Eval(q, lp)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}

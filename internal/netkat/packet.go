@@ -1,0 +1,128 @@
+// Package netkat implements the core NetKAT network programming language:
+// packets, locations, predicates, policies, and a reference denotational
+// evaluator. It corresponds to the static (stateless) fragment used in
+// "Event-Driven Network Programming" (PLDI 2016), Section 3.2.
+//
+// A policy denotes a function from a located packet to a set of located
+// packets. The special fields "sw" and "pt" refer to the packet's current
+// switch and port; "pt" may be assigned, "sw" may only change by crossing
+// a Link.
+package netkat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Location identifies a switch-port pair n:m (written n:m in the paper).
+type Location struct {
+	Switch int
+	Port   int
+}
+
+// String renders the location in the paper's n:m notation.
+func (l Location) String() string { return fmt.Sprintf("%d:%d", l.Switch, l.Port) }
+
+// Less gives a total order on locations, used for deterministic iteration.
+func (l Location) Less(o Location) bool {
+	if l.Switch != o.Switch {
+		return l.Switch < o.Switch
+	}
+	return l.Port < o.Port
+}
+
+// Packet is a record of numeric header fields {f1; f2; ...; fn}.
+// The map is never mutated in place by the evaluator; use Clone/With.
+type Packet map[string]int
+
+// Clone returns an independent copy of the packet.
+func (p Packet) Clone() Packet {
+	q := make(Packet, len(p))
+	for k, v := range p {
+		q[k] = v
+	}
+	return q
+}
+
+// With returns a copy of the packet with field f set to v (pkt[f <- v]).
+func (p Packet) With(f string, v int) Packet {
+	q := p.Clone()
+	q[f] = v
+	return q
+}
+
+// Equal reports whether two packets have identical fields and values.
+func (p Packet) Equal(q Packet) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for k, v := range p {
+		w, ok := q[k]
+		if !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Fields returns the field names in sorted order.
+func (p Packet) Fields() []string {
+	fs := make([]string, 0, len(p))
+	for k := range p {
+		fs = append(fs, k)
+	}
+	sort.Strings(fs)
+	return fs
+}
+
+// Key returns a canonical string usable as a map key for packet sets.
+func (p Packet) Key() string {
+	var b strings.Builder
+	for _, f := range p.Fields() {
+		fmt.Fprintf(&b, "%s=%d;", f, p[f])
+	}
+	return b.String()
+}
+
+// String renders the packet as {f1=v1, f2=v2, ...}.
+func (p Packet) String() string {
+	var parts []string
+	for _, f := range p.Fields() {
+		parts = append(parts, fmt.Sprintf("%s=%d", f, p[f]))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// LocatedPacket pairs a packet with its current location (pkt, sw, pt).
+type LocatedPacket struct {
+	Pkt Packet
+	Loc Location
+}
+
+// Key returns a canonical string usable as a map key for sets of located
+// packets.
+func (lp LocatedPacket) Key() string {
+	return lp.Loc.String() + "|" + lp.Pkt.Key()
+}
+
+// Equal reports whether two located packets agree on location and fields.
+func (lp LocatedPacket) Equal(o LocatedPacket) bool {
+	return lp.Loc == o.Loc && lp.Pkt.Equal(o.Pkt)
+}
+
+// String renders the located packet as (pkt @ n:m).
+func (lp LocatedPacket) String() string {
+	return fmt.Sprintf("(%v @ %v)", lp.Pkt, lp.Loc)
+}
+
+// SortLocated sorts a slice of located packets into canonical order.
+func SortLocated(lps []LocatedPacket) {
+	sort.Slice(lps, func(i, j int) bool { return lps[i].Key() < lps[j].Key() })
+}
+
+// FieldSw and FieldPt are the special location pseudo-fields.
+const (
+	FieldSw = "sw"
+	FieldPt = "pt"
+)

@@ -1,0 +1,286 @@
+package nkc
+
+import (
+	"sort"
+
+	"eventnet/internal/netkat"
+)
+
+// Equivalence checking for the link-free NetKAT fragment.
+//
+// NetKAT over finite tests and assignments has the finite model property:
+// a policy's behavior on a packet depends only on which of the finitely
+// many mentioned constants each field equals (or none of them). Checking
+// equality on one representative packet per equivalence class is therefore
+// a sound and complete decision procedure for link-free policies — the
+// "formal reasoning for Stateful NetKAT" direction the paper lists as
+// future work, restricted to the per-state configurations.
+
+// freshOffset is added to the largest mentioned value to obtain a
+// representative "none of the mentioned constants" value per field.
+const freshOffset = 1
+
+// mentioned collects, per field, the sorted set of constants a policy
+// tests or assigns, plus the port/switch constants.
+func mentioned(ps ...netkat.Policy) map[string][]int {
+	vals := map[string]map[int]bool{}
+	addVal := func(f string, v int) {
+		if vals[f] == nil {
+			vals[f] = map[int]bool{}
+		}
+		vals[f][v] = true
+	}
+	var walkPred func(netkat.Pred)
+	walkPred = func(p netkat.Pred) {
+		switch q := p.(type) {
+		case netkat.Test:
+			addVal(q.Field, q.Value)
+		case netkat.Not:
+			walkPred(q.P)
+		case netkat.And:
+			walkPred(q.L)
+			walkPred(q.R)
+		case netkat.Or:
+			walkPred(q.L)
+			walkPred(q.R)
+		}
+	}
+	var walk func(netkat.Policy)
+	walk = func(p netkat.Policy) {
+		switch q := p.(type) {
+		case netkat.Filter:
+			walkPred(q.P)
+		case netkat.Assign:
+			addVal(q.Field, q.Value)
+		case netkat.Union:
+			walk(q.L)
+			walk(q.R)
+		case netkat.Seq:
+			walk(q.L)
+			walk(q.R)
+		case netkat.Star:
+			walk(q.P)
+		case netkat.Link:
+			addVal(netkat.FieldSw, q.Src.Switch)
+			addVal(netkat.FieldSw, q.Dst.Switch)
+			addVal(netkat.FieldPt, q.Src.Port)
+			addVal(netkat.FieldPt, q.Dst.Port)
+		}
+	}
+	for _, p := range ps {
+		walk(p)
+	}
+	out := map[string][]int{}
+	for f, m := range vals {
+		var vs []int
+		for v := range m {
+			vs = append(vs, v)
+		}
+		sort.Ints(vs)
+		out[f] = vs
+	}
+	return out
+}
+
+// representatives returns, per field, the mentioned constants plus one
+// fresh value (the class of "everything else").
+func representatives(ps ...netkat.Policy) map[string][]int {
+	m := mentioned(ps...)
+	// Ensure sw/pt are present even if never tested.
+	if _, ok := m[netkat.FieldSw]; !ok {
+		m[netkat.FieldSw] = nil
+	}
+	if _, ok := m[netkat.FieldPt]; !ok {
+		m[netkat.FieldPt] = nil
+	}
+	out := map[string][]int{}
+	for f, vs := range m {
+		fresh := freshOffset
+		if len(vs) > 0 {
+			fresh = vs[len(vs)-1] + freshOffset
+		}
+		out[f] = append(append([]int{}, vs...), fresh)
+	}
+	return out
+}
+
+// maxEquivPackets bounds the representative-packet enumeration.
+const maxEquivPackets = 200000
+
+// Equivalent decides semantic equality of two link-free policies by
+// evaluating both on one representative located packet per equivalence
+// class of the finite model. It returns a distinguishing packet when the
+// policies differ.
+func Equivalent(p, q netkat.Policy) (bool, *netkat.LocatedPacket, error) {
+	if err := netkat.Validate(p); err != nil {
+		return false, nil, err
+	}
+	if err := netkat.Validate(q); err != nil {
+		return false, nil, err
+	}
+	reps := representatives(p, q)
+	fields := make([]string, 0, len(reps))
+	for f := range reps {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+
+	total := 1
+	for _, f := range fields {
+		total *= len(reps[f])
+		if total > maxEquivPackets {
+			return false, nil, errTooManyClasses
+		}
+	}
+
+	idx := make([]int, len(fields))
+	for {
+		lp := netkat.LocatedPacket{Pkt: netkat.Packet{}}
+		for i, f := range fields {
+			v := reps[f][idx[i]]
+			switch f {
+			case netkat.FieldSw:
+				lp.Loc.Switch = v
+			case netkat.FieldPt:
+				lp.Loc.Port = v
+			default:
+				lp.Pkt[f] = v
+			}
+		}
+		if !netkat.EquivOn(p, q, []netkat.LocatedPacket{lp}) {
+			return false, &lp, nil
+		}
+		// Advance the odometer.
+		i := 0
+		for ; i < len(fields); i++ {
+			idx[i]++
+			if idx[i] < len(reps[fields[i]]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(fields) {
+			return true, nil, nil
+		}
+	}
+}
+
+type equivError string
+
+func (e equivError) Error() string { return string(e) }
+
+// errTooManyClasses is returned when the finite model exceeds the
+// enumeration bound.
+const errTooManyClasses = equivError("nkc: too many equivalence classes for exact equivalence checking")
+
+// Simplify rewrites a policy with the KAT identities that the paper's
+// equational theory licenses: units and annihilators for union and
+// sequence, idempotent union, star of a predicate collapsing to true, and
+// double negation. The result is semantically equal to the input (checked
+// by property tests against Equivalent).
+func Simplify(p netkat.Policy) netkat.Policy {
+	switch q := p.(type) {
+	case netkat.Filter:
+		return netkat.Filter{P: simplifyPred(q.P)}
+	case netkat.Assign:
+		return q
+	case netkat.Union:
+		l, r := Simplify(q.L), Simplify(q.R)
+		if isDrop(l) {
+			return r
+		}
+		if isDrop(r) {
+			return l
+		}
+		if l.String() == r.String() {
+			return l
+		}
+		return netkat.Union{L: l, R: r}
+	case netkat.Seq:
+		l, r := Simplify(q.L), Simplify(q.R)
+		if isDrop(l) || isDrop(r) {
+			return netkat.Drop()
+		}
+		if isID(l) {
+			return r
+		}
+		if isID(r) {
+			return l
+		}
+		return netkat.Seq{L: l, R: r}
+	case netkat.Star:
+		inner := Simplify(q.P)
+		if isDrop(inner) || isID(inner) {
+			return netkat.ID()
+		}
+		// A pure test under star is absorbed: a* = 1 + a + a;a + ... = 1.
+		if f, ok := inner.(netkat.Filter); ok {
+			_ = f
+			return netkat.ID()
+		}
+		if s, ok := inner.(netkat.Star); ok {
+			return s // p** = p*
+		}
+		return netkat.Star{P: inner}
+	case netkat.Link:
+		return q
+	default:
+		return p
+	}
+}
+
+func simplifyPred(p netkat.Pred) netkat.Pred {
+	switch q := p.(type) {
+	case netkat.Not:
+		inner := simplifyPred(q.P)
+		switch r := inner.(type) {
+		case netkat.True:
+			return netkat.False{}
+		case netkat.False:
+			return netkat.True{}
+		case netkat.Not:
+			return r.P // double negation
+		}
+		return netkat.Not{P: inner}
+	case netkat.And:
+		l, r := simplifyPred(q.L), simplifyPred(q.R)
+		if isFalseP(l) || isFalseP(r) {
+			return netkat.False{}
+		}
+		if isTrueP(l) {
+			return r
+		}
+		if isTrueP(r) {
+			return l
+		}
+		return netkat.And{L: l, R: r}
+	case netkat.Or:
+		l, r := simplifyPred(q.L), simplifyPred(q.R)
+		if isTrueP(l) || isTrueP(r) {
+			return netkat.True{}
+		}
+		if isFalseP(l) {
+			return r
+		}
+		if isFalseP(r) {
+			return l
+		}
+		return netkat.Or{L: l, R: r}
+	default:
+		return p
+	}
+}
+
+func isDrop(p netkat.Policy) bool {
+	f, ok := p.(netkat.Filter)
+	return ok && isFalseP(f.P)
+}
+
+func isID(p netkat.Policy) bool {
+	f, ok := p.(netkat.Filter)
+	return ok && isTrueP(f.P)
+}
+
+func isTrueP(p netkat.Pred) bool { _, ok := p.(netkat.True); return ok }
+
+func isFalseP(p netkat.Pred) bool { _, ok := p.(netkat.False); return ok }

@@ -1,0 +1,139 @@
+package nkc
+
+import (
+	"math/rand"
+	"testing"
+
+	"eventnet/internal/netkat"
+)
+
+func mustEquiv(t *testing.T, p, q netkat.Policy, want bool) {
+	t.Helper()
+	got, witness, err := Equivalent(p, q)
+	if err != nil {
+		t.Fatalf("Equivalent(%v, %v): %v", p, q, err)
+	}
+	if got != want {
+		t.Fatalf("Equivalent(%v, %v) = %v (witness %v), want %v", p, q, got, witness, want)
+	}
+}
+
+// TestEquivalentKATAxioms checks the KAT identities exactly (not just on
+// random packets).
+func TestEquivalentKATAxioms(t *testing.T) {
+	a := netkat.Filter{P: netkat.Test{Field: "x", Value: 1}}
+	b := netkat.Filter{P: netkat.Test{Field: "y", Value: 2}}
+	asn := netkat.Assign{Field: "x", Value: 2}
+
+	mustEquiv(t, netkat.Union{L: a, R: b}, netkat.Union{L: b, R: a}, true)
+	mustEquiv(t, netkat.Union{L: a, R: a}, a, true)
+	mustEquiv(t, netkat.Seq{L: netkat.ID(), R: asn}, asn, true)
+	mustEquiv(t, netkat.Seq{L: netkat.Drop(), R: asn}, netkat.Drop(), true)
+	mustEquiv(t,
+		netkat.Seq{L: asn, R: netkat.Union{L: a, R: b}},
+		netkat.Union{L: netkat.Seq{L: asn, R: a}, R: netkat.Seq{L: asn, R: b}}, true)
+	// PA axiom: x<-1; x=1 ≡ x<-1.
+	mustEquiv(t,
+		netkat.Seq{L: netkat.Assign{Field: "x", Value: 1}, R: netkat.Filter{P: netkat.Test{Field: "x", Value: 1}}},
+		netkat.Assign{Field: "x", Value: 1}, true)
+	// x=1; x<-1 ≡ x=1.
+	mustEquiv(t,
+		netkat.Seq{L: netkat.Filter{P: netkat.Test{Field: "x", Value: 1}}, R: netkat.Assign{Field: "x", Value: 1}},
+		netkat.Filter{P: netkat.Test{Field: "x", Value: 1}}, true)
+	// Star unrolling.
+	p := netkat.Union{L: asn, R: netkat.Assign{Field: "x", Value: 3}}
+	mustEquiv(t, netkat.Star{P: p}, netkat.Union{L: netkat.ID(), R: netkat.Seq{L: p, R: netkat.Star{P: p}}}, true)
+}
+
+// TestEquivalentDistinguishes: the fresh-value classes catch differences
+// outside the mentioned constants.
+func TestEquivalentDistinguishes(t *testing.T) {
+	// x=1 vs !(x=2): differ on x = anything-else.
+	p := netkat.Filter{P: netkat.Test{Field: "x", Value: 1}}
+	q := netkat.Filter{P: netkat.Not{P: netkat.Test{Field: "x", Value: 2}}}
+	got, witness, err := Equivalent(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("x=1 and !(x=2) judged equivalent")
+	}
+	if witness == nil {
+		t.Fatal("no witness")
+	}
+	if p.P.Eval(*witness) == q.P.Eval(*witness) {
+		t.Fatalf("witness %v does not distinguish", witness)
+	}
+	// Assignments to different values.
+	mustEquiv(t, netkat.Assign{Field: "x", Value: 1}, netkat.Assign{Field: "x", Value: 2}, false)
+	// Port assignment vs field assignment.
+	mustEquiv(t, netkat.Assign{Field: netkat.FieldPt, Value: 1}, netkat.Assign{Field: "x", Value: 1}, false)
+}
+
+// TestEquivalentAgreesWithRandomEval: on random link-free policies, the
+// decision procedure agrees with sampling (sampling can only refute, so
+// any sampled difference must be found by Equivalent too).
+func TestEquivalentAgreesWithRandomEval(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 150; i++ {
+		p := randLinkFree(r, 3)
+		q := randLinkFree(r, 3)
+		eq, _, err := Equivalent(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampledEqual := true
+		for j := 0; j < 100; j++ {
+			if !netkat.EquivOn(p, q, []netkat.LocatedPacket{randLP(r)}) {
+				sampledEqual = false
+				break
+			}
+		}
+		if !sampledEqual && eq {
+			t.Fatalf("sampling refuted but Equivalent accepted: %v vs %v", p, q)
+		}
+	}
+}
+
+// TestSimplifyPreservesSemantics: Simplify is semantics-preserving on
+// random link-free policies (checked with the exact decision procedure)
+// and never grows the term.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	for i := 0; i < 300; i++ {
+		p := randLinkFree(r, 3)
+		s := Simplify(p)
+		eq, witness, err := Equivalent(p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("Simplify changed semantics of %v -> %v (witness %v)", p, s, witness)
+		}
+		if len(s.String()) > len(p.String()) {
+			t.Fatalf("Simplify grew %v -> %v", p, s)
+		}
+	}
+}
+
+// TestSimplifyIdentities spot-checks the rewrite rules.
+func TestSimplifyIdentities(t *testing.T) {
+	a := netkat.Filter{P: netkat.Test{Field: "x", Value: 1}}
+	cases := []struct {
+		in   netkat.Policy
+		want string
+	}{
+		{netkat.Union{L: netkat.Drop(), R: a}, "x=1"},
+		{netkat.Seq{L: netkat.ID(), R: a}, "x=1"},
+		{netkat.Seq{L: netkat.Drop(), R: a}, "false"},
+		{netkat.Star{P: a}, "true"},
+		{netkat.Star{P: netkat.Star{P: netkat.Assign{Field: "x", Value: 1}}}, "x<-1*"},
+		{netkat.Filter{P: netkat.Not{P: netkat.Not{P: netkat.Test{Field: "x", Value: 1}}}}, "x=1"},
+		{netkat.Union{L: a, R: a}, "x=1"},
+	}
+	for _, c := range cases {
+		if got := Simplify(c.in).String(); got != c.want {
+			t.Errorf("Simplify(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package runtime executes network event structures with the operational
+// semantics of Figure 7 of the paper: switches with per-port input/output
+// queues and a local event-set, packets carrying a configuration tag and
+// an event digest, and a controller with a receive queue. The rules
+// IN, OUT, SWITCH, LINK, CTRLRECV and CTRLSEND are implemented directly;
+// a seeded scheduler picks among enabled rule instances, so property tests
+// can explore many interleavings (the executions quantified over by
+// Theorem 1).
+//
+// Every execution records the corresponding network trace (Section 4.3:
+// a single packet is processed at each step, so the network trace can be
+// read off the execution), which the oracle in internal/trace judges.
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"eventnet/internal/nes"
+	"eventnet/internal/netkat"
+	"eventnet/internal/topo"
+	"eventnet/internal/trace"
+)
+
+// Packet is an in-flight packet: header fields plus the metadata of
+// Section 4.1 — the configuration tag (version) and the event digest.
+type Packet struct {
+	Fields netkat.Packet
+	Config int     // pkt.C: index of the configuration that must process it
+	Digest nes.Set // pkt.digest: events the packet has heard about
+	tidx   int     // trace index of the packet's latest recorded location
+}
+
+// SwitchState is one switch: ID, input/output queue maps, and the local
+// view E of the global event-set.
+type SwitchState struct {
+	ID     int
+	In     map[int][]Packet
+	Out    map[int][]Packet
+	Events nes.Set
+}
+
+// Delivery is a packet received by a host.
+type Delivery struct {
+	Host   string
+	Fields netkat.Packet
+}
+
+// Machine is the (Q, R, S) state of Figure 7 plus trace bookkeeping.
+type Machine struct {
+	NES  *nes.NES
+	Topo *topo.Topology
+
+	Q, R     nes.Set
+	Switches map[int]*SwitchState
+
+	// CtrlAssist enables the CTRLRECV/CTRLSEND rules (the optional
+	// controller broadcast optimization of Section 4.1).
+	CtrlAssist bool
+
+	Deliveries []Delivery
+
+	nt      trace.NetTrace
+	parents []int
+	rng     *rand.Rand
+}
+
+// New builds a machine for the NES over its topology.
+func New(n *nes.NES, t *topo.Topology, seed int64, ctrlAssist bool) *Machine {
+	m := &Machine{
+		NES:        n,
+		Topo:       t,
+		Switches:   map[int]*SwitchState{},
+		CtrlAssist: ctrlAssist,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+	for _, sw := range t.Switches {
+		m.Switches[sw] = &SwitchState{ID: sw, In: map[int][]Packet{}, Out: map[int][]Packet{}}
+	}
+	return m
+}
+
+// record appends a directed trace point with the given parent (-1 for a
+// root) and returns its index.
+func (m *Machine) record(fields netkat.Packet, loc netkat.Location, out bool, parent int) int {
+	idx := m.nt.Append(netkat.DPacket{Pkt: fields.Clone(), Loc: loc, Out: out})
+	m.parents = append(m.parents, parent)
+	return idx
+}
+
+// gAt returns the configuration index g(E) for a switch's event view. For
+// views produced purely by digest gossip E is always in the family; a
+// partial controller push can produce a view strictly between family
+// members, in which case the unique largest family member contained in E
+// is used (it exists because all of E's family subsets share the upper
+// bound "all events so far", so finite-completeness makes them directed).
+func (m *Machine) gAt(e nes.Set) int {
+	if c, ok := m.NES.ConfigAt(e); ok {
+		return c
+	}
+	best := nes.Empty
+	for _, f := range m.NES.Family() {
+		if f.SubsetOf(e) && best.SubsetOf(f) {
+			best = f
+		}
+	}
+	c, _ := m.NES.ConfigAt(best)
+	return c
+}
+
+// Inject performs the IN rule: a packet enters from the named host, is
+// stamped with the tag of the edge switch's current configuration, and is
+// queued at the attachment port.
+func (m *Machine) Inject(host string, fields netkat.Packet) error {
+	h, ok := m.Topo.HostByName(host)
+	if !ok {
+		return fmt.Errorf("runtime: unknown host %q", host)
+	}
+	sw := m.Switches[h.Attach.Switch]
+	root := m.record(fields, h.Loc(), true, -1)
+	pkt := Packet{
+		Fields: fields.Clone(),
+		Config: m.gAt(sw.Events),
+		Digest: nes.Empty,
+		tidx:   root,
+	}
+	sw.In[h.Attach.Port] = append(sw.In[h.Attach.Port], pkt)
+	return nil
+}
+
+// action is one enabled rule instance.
+type action struct {
+	kind string // "switch", "link", "out", "ctrlrecv", "ctrlsend"
+	sw   int
+	port int
+	ev   int
+}
+
+// enabled lists every enabled rule instance, deterministically ordered.
+func (m *Machine) enabled() []action {
+	var out []action
+	sws := make([]int, 0, len(m.Switches))
+	for sw := range m.Switches {
+		sws = append(sws, sw)
+	}
+	sort.Ints(sws)
+	for _, swid := range sws {
+		sw := m.Switches[swid]
+		for _, p := range sortedPorts(sw.In) {
+			if len(sw.In[p]) > 0 {
+				out = append(out, action{kind: "switch", sw: swid, port: p})
+			}
+		}
+		for _, p := range sortedPorts(sw.Out) {
+			if len(sw.Out[p]) == 0 {
+				continue
+			}
+			src := netkat.Location{Switch: swid, Port: p}
+			if lk, ok := m.Topo.LinkFrom(src); ok {
+				if m.Topo.IsHostNode(lk.Dst.Switch) {
+					out = append(out, action{kind: "out", sw: swid, port: p})
+				} else {
+					out = append(out, action{kind: "link", sw: swid, port: p})
+				}
+			}
+		}
+	}
+	if m.CtrlAssist {
+		if m.Q != nes.Empty {
+			out = append(out, action{kind: "ctrlrecv"})
+		}
+		if m.R != nes.Empty {
+			for _, swid := range sws {
+				if !m.R.SubsetOf(m.Switches[swid].Events) {
+					out = append(out, action{kind: "ctrlsend", sw: swid})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortedPorts(qm map[int][]Packet) []int {
+	out := make([]int, 0, len(qm))
+	for p := range qm {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Step performs one randomly chosen enabled rule instance. It reports
+// false when the machine is quiescent.
+func (m *Machine) Step() bool {
+	acts := m.enabled()
+	if len(acts) == 0 {
+		return false
+	}
+	a := acts[m.rng.Intn(len(acts))]
+	m.perform(a)
+	return true
+}
+
+func (m *Machine) perform(a action) {
+	switch a.kind {
+	case "switch":
+		m.switchStep(a.sw, a.port)
+	case "link":
+		m.linkStep(a.sw, a.port)
+	case "out":
+		m.outStep(a.sw, a.port)
+	case "ctrlrecv":
+		// Move one event from the controller queue into the controller.
+		es := m.Q.Elems()
+		e := es[m.rng.Intn(len(es))]
+		m.Q = m.Q.Without(e)
+		m.R = m.R.With(e)
+	case "ctrlsend":
+		// Push the controller's view to one switch (the periodic
+		// broadcast of Section 4.1).
+		m.Switches[a.sw].Events = m.Switches[a.sw].Events.Union(m.R)
+	}
+}
+
+// switchStep is the SWITCH rule: learn from the packet's digest, detect
+// newly enabled events the packet matches, forward using the packet's
+// tagged configuration, and stamp the outputs' digests.
+func (m *Machine) switchStep(swid, port int) {
+	sw := m.Switches[swid]
+	pkt := sw.In[port][0]
+	sw.In[port] = sw.In[port][1:]
+
+	loc := netkat.Location{Switch: swid, Port: port}
+	ingress := m.record(pkt.Fields, loc, false, pkt.tidx)
+
+	known := sw.Events.Union(pkt.Digest)
+	lp := netkat.LocatedPacket{Pkt: pkt.Fields, Loc: loc}
+	newly := m.NES.NewlyEnabled(known, lp)
+
+	// Forward with the packet's tagged configuration.
+	cfg := m.NES.Configs[pkt.Config]
+	var outs []struct {
+		fields netkat.Packet
+		port   int
+	}
+	if tbl, ok := cfg.Tables[swid]; ok {
+		for _, o := range tbl.Process(pkt.Fields, port, 0) {
+			outs = append(outs, struct {
+				fields netkat.Packet
+				port   int
+			}{o.Pkt, o.Port})
+		}
+	}
+
+	// State and digest updates (Figure 7, SWITCH).
+	oldE := sw.Events
+	sw.Events = sw.Events.Union(newly).Union(pkt.Digest)
+	m.Q = m.Q.Union(newly)
+	outDigest := pkt.Digest.Union(oldE).Union(newly)
+
+	for _, o := range outs {
+		egress := m.record(o.fields, netkat.Location{Switch: swid, Port: o.port}, true, ingress)
+		sw.Out[o.port] = append(sw.Out[o.port], Packet{
+			Fields: o.fields,
+			Config: pkt.Config,
+			Digest: outDigest,
+			tidx:   egress,
+		})
+	}
+}
+
+// linkStep is the LINK rule: move the head packet across the physical
+// link into the neighbor's input queue.
+func (m *Machine) linkStep(swid, port int) {
+	sw := m.Switches[swid]
+	pkt := sw.Out[port][0]
+	sw.Out[port] = sw.Out[port][1:]
+	lk, _ := m.Topo.LinkFrom(netkat.Location{Switch: swid, Port: port})
+	dst := m.Switches[lk.Dst.Switch]
+	dst.In[lk.Dst.Port] = append(dst.In[lk.Dst.Port], pkt)
+}
+
+// outStep is the OUT rule: deliver the head packet to the attached host.
+func (m *Machine) outStep(swid, port int) {
+	sw := m.Switches[swid]
+	pkt := sw.Out[port][0]
+	sw.Out[port] = sw.Out[port][1:]
+	lk, _ := m.Topo.LinkFrom(netkat.Location{Switch: swid, Port: port})
+	h, _ := m.Topo.HostByID(lk.Dst.Switch)
+	m.record(pkt.Fields, h.Loc(), false, pkt.tidx)
+	m.Deliveries = append(m.Deliveries, Delivery{Host: h.Name, Fields: pkt.Fields.Clone()})
+}
+
+// maxSteps bounds RunToQuiescence.
+const maxSteps = 1000000
+
+// RunToQuiescence steps until no rule is enabled.
+func (m *Machine) RunToQuiescence() error {
+	for i := 0; i < maxSteps; i++ {
+		if !m.Step() {
+			return nil
+		}
+	}
+	return fmt.Errorf("runtime: machine did not quiesce within %d steps", maxSteps)
+}
+
+// NetTrace reconstructs the recorded network trace: the located-packet
+// sequence plus the family of packet trees (one root-to-leaf index path
+// per tree branch).
+func (m *Machine) NetTrace() *trace.NetTrace {
+	children := map[int][]int{}
+	hasChild := make([]bool, len(m.nt.Packets))
+	for i, p := range m.parents {
+		if p >= 0 {
+			children[p] = append(children[p], i)
+			hasChild[p] = true
+		}
+	}
+	nt := &trace.NetTrace{Packets: m.nt.Packets}
+	var path []int
+	var walk func(i int)
+	walk = func(i int) {
+		path = append(path, i)
+		if !hasChild[i] {
+			nt.Trees = append(nt.Trees, append([]int{}, path...))
+		} else {
+			for _, c := range children[i] {
+				walk(c)
+			}
+		}
+		path = path[:len(path)-1]
+	}
+	for i, p := range m.parents {
+		if p == -1 {
+			walk(i)
+		}
+	}
+	return nt
+}
+
+// DeliveredTo returns the packets delivered to the named host.
+func (m *Machine) DeliveredTo(host string) []netkat.Packet {
+	var out []netkat.Packet
+	for _, d := range m.Deliveries {
+		if d.Host == host {
+			out = append(out, d.Fields)
+		}
+	}
+	return out
+}
+
+// SwitchView returns switch sw's current event view (for convergence
+// observations).
+func (m *Machine) SwitchView(sw int) nes.Set { return m.Switches[sw].Events }

@@ -1,0 +1,343 @@
+// Package sim is a discrete-event network simulator: the substitute for
+// the paper's Mininet testbed (Section 5). It models link latency,
+// per-byte serialization, finite egress backlogs, and per-packet switch
+// processing time, and runs two data planes over compiled NES
+// configurations:
+//
+//   - Tagged: the paper's correct implementation strategy (Section 4) —
+//     packets carry a configuration tag and an event digest, switches keep
+//     a local event view and react to local events immediately;
+//   - Uncoordinated: the baseline — events are reported to a controller,
+//     which pushes new configurations to switches after a delay, in an
+//     unpredictable order (Section 5's comparison strategy).
+//
+// Workload drivers (ping with echo responders, bulk transfers) and
+// measurement hooks reproduce the quantities plotted in Figures 10-16.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"eventnet/internal/netkat"
+	"eventnet/internal/topo"
+	"eventnet/internal/trace"
+)
+
+// Params are the physical constants of a simulation.
+type Params struct {
+	LinkLatency    float64 // seconds per hop (propagation)
+	LinkBandwidth  float64 // bytes per second
+	SwitchProcTime float64 // seconds per packet of base processing
+	MaxLinkBacklog float64 // seconds of queued serialization before drop
+	MaxSwBacklog   float64 // seconds of queued switch processing before drop
+	PayloadBytes   int     // application payload per packet
+
+	// Uncoordinated-plane knobs.
+	CtrlLatency   float64 // switch-to-controller notification latency
+	InstallDelay  float64 // controller-to-switch install delay (the Figure 10 sweep)
+	InstallJitter float64 // extra random install delay per switch
+
+	// Tagged-plane controller assistance (Figure 16b).
+	CtrlAssist bool
+}
+
+// DefaultParams models a modest software-switch testbed: 1 ms links,
+// 100 Mbit/s (12.5 MB/s) bandwidth, 10 us switch processing, 1400-byte
+// payloads.
+func DefaultParams() Params {
+	return Params{
+		LinkLatency:    1e-3,
+		LinkBandwidth:  12.5e6,
+		SwitchProcTime: 10e-6,
+		MaxLinkBacklog: 20e-3,
+		MaxSwBacklog:   20e-3,
+		PayloadBytes:   1400,
+		CtrlLatency:    5e-3,
+		InstallDelay:   0,
+		InstallJitter:  2e-3,
+	}
+}
+
+// Meta is the per-packet metadata a data plane attaches (the tag and
+// digest of Section 4.1; unused by the uncoordinated plane).
+type Meta struct {
+	Version int
+	Digest  uint64
+}
+
+// Out is one packet a data plane emits from a switch.
+type Out struct {
+	Fields netkat.Packet
+	Port   int
+	Meta   Meta
+}
+
+// Plane is a data-plane implementation.
+type Plane interface {
+	// Inject stamps a packet entering the network at the given edge switch.
+	Inject(s *Sim, sw int, fields netkat.Packet) Meta
+	// Process handles a packet arriving at a switch ingress port.
+	Process(s *Sim, sw, inPort int, fields netkat.Packet, meta Meta) []Out
+	// HeaderOverhead is the extra on-the-wire bytes per packet.
+	HeaderOverhead() int
+	// ProcFactor scales the per-packet switch processing time (tag and
+	// register operations make the fast path marginally slower).
+	ProcFactor() float64
+}
+
+// Delivery is a packet received by a host, with its arrival time.
+type Delivery struct {
+	Host   string
+	Fields netkat.Packet
+	Time   float64
+}
+
+// event is one scheduled action.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h eventHeap) Peek() (event, bool) {
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+// Sim is the simulation state.
+type Sim struct {
+	Topo   *topo.Topology
+	Params Params
+	Plane  Plane
+	Rand   *rand.Rand
+
+	now      float64
+	seq      int64
+	queue    eventHeap
+	linkFree map[netkat.Location]float64 // egress serialization availability
+	swFree   map[int]float64             // switch processing availability
+
+	Delivered []Delivery
+	Dropped   int // packets dropped due to backlog overflow
+
+	// Record enables network-trace recording for oracle checking. The
+	// recorded trace assumes a loss-free run (congestion drops leave
+	// truncated packet trees the formalism does not model).
+	Record  bool
+	nt      trace.NetTrace
+	parents []int
+
+	// onReceive handlers per host (echo responders, counters).
+	onReceive map[string]func(s *Sim, fields netkat.Packet, at float64)
+}
+
+// New builds a simulation over the topology with the given plane.
+func New(t *topo.Topology, plane Plane, p Params, seed int64) *Sim {
+	return &Sim{
+		Topo:      t,
+		Params:    p,
+		Plane:     plane,
+		Rand:      rand.New(rand.NewSource(seed)),
+		linkFree:  map[netkat.Location]float64{},
+		swFree:    map[int]float64{},
+		onReceive: map[string]func(*Sim, netkat.Packet, float64){},
+	}
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at an absolute time (clamped to now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn after a relative delay.
+func (s *Sim) After(d float64, fn func()) { s.At(s.now+d, fn) }
+
+// Run processes events until the queue is empty or the horizon is
+// reached.
+func (s *Sim) Run(horizon float64) {
+	for {
+		ev, ok := s.queue.Peek()
+		if !ok || ev.at > horizon {
+			s.now = horizon
+			return
+		}
+		heap.Pop(&s.queue)
+		s.now = ev.at
+		ev.fn()
+	}
+}
+
+// OnReceive registers a handler invoked when the named host receives a
+// packet (after any previously registered handler).
+func (s *Sim) OnReceive(host string, fn func(s *Sim, fields netkat.Packet, at float64)) {
+	prev := s.onReceive[host]
+	s.onReceive[host] = func(s *Sim, f netkat.Packet, at float64) {
+		if prev != nil {
+			prev(s, f, at)
+		}
+		fn(s, f, at)
+	}
+}
+
+// record appends a directed trace point (when recording is on).
+func (s *Sim) record(fields netkat.Packet, loc netkat.Location, out bool, parent int) int {
+	if !s.Record {
+		return -1
+	}
+	idx := s.nt.Append(netkat.DPacket{Pkt: fields.Clone(), Loc: loc, Out: out})
+	s.parents = append(s.parents, parent)
+	return idx
+}
+
+// NetTrace reconstructs the recorded network trace (Record must have been
+// set before the run): the point sequence plus one root-to-leaf index
+// path per packet-tree branch.
+func (s *Sim) NetTrace() *trace.NetTrace {
+	children := map[int][]int{}
+	hasChild := make([]bool, len(s.nt.Packets))
+	for i, p := range s.parents {
+		if p >= 0 {
+			children[p] = append(children[p], i)
+			hasChild[p] = true
+		}
+	}
+	nt := &trace.NetTrace{Packets: s.nt.Packets}
+	var path []int
+	var walk func(i int)
+	walk = func(i int) {
+		path = append(path, i)
+		if !hasChild[i] {
+			nt.Trees = append(nt.Trees, append([]int{}, path...))
+		} else {
+			for _, c := range children[i] {
+				walk(c)
+			}
+		}
+		path = path[:len(path)-1]
+	}
+	for i, p := range s.parents {
+		if p == -1 {
+			walk(i)
+		}
+	}
+	return nt
+}
+
+// wireBytes is the on-the-wire size of a packet.
+func (s *Sim) wireBytes() int { return s.Params.PayloadBytes + s.Plane.HeaderOverhead() }
+
+// transmit sends a packet out of an egress location across its link,
+// modeling serialization, backlog-overflow drops, and propagation. tidx
+// is the packet's latest recorded trace point (-1 when not recording).
+func (s *Sim) transmit(src netkat.Location, fields netkat.Packet, meta Meta, tidx int) {
+	lk, ok := s.Topo.LinkFrom(src)
+	if !ok {
+		return // unconnected port: packet leaves the modeled network
+	}
+	free := s.linkFree[src]
+	if free < s.now {
+		free = s.now
+	}
+	if free-s.now > s.Params.MaxLinkBacklog {
+		s.Dropped++
+		return
+	}
+	tx := float64(s.wireBytes()) / s.Params.LinkBandwidth
+	s.linkFree[src] = free + tx
+	arrive := free + tx + s.Params.LinkLatency
+	dst := lk.Dst
+	s.At(arrive, func() {
+		if h, isHost := s.Topo.HostByID(dst.Switch); isHost {
+			s.record(fields, h.Loc(), false, tidx)
+			s.Delivered = append(s.Delivered, Delivery{Host: h.Name, Fields: fields, Time: s.now})
+			if fn := s.onReceive[h.Name]; fn != nil {
+				fn(s, fields, s.now)
+			}
+			return
+		}
+		s.arriveAtSwitch(dst.Switch, dst.Port, fields, meta, tidx)
+	})
+}
+
+// arriveAtSwitch queues the packet for processing at a switch, dropping
+// it if the switch's processing backlog exceeds its queue capacity.
+// Ingress and egress trace points are recorded at processing time, so
+// the recorded order at each switch matches the processing order the
+// happens-before relation depends on.
+func (s *Sim) arriveAtSwitch(sw, port int, fields netkat.Packet, meta Meta, tidx int) {
+	start := s.swFree[sw]
+	if start < s.now {
+		start = s.now
+	}
+	if start-s.now > s.Params.MaxSwBacklog {
+		s.Dropped++
+		return
+	}
+	done := start + s.Params.SwitchProcTime*s.Plane.ProcFactor()
+	s.swFree[sw] = done
+	s.At(done, func() {
+		ingress := s.record(fields, netkat.Location{Switch: sw, Port: port}, false, tidx)
+		for _, o := range s.Plane.Process(s, sw, port, fields, meta) {
+			egress := s.record(o.Fields, netkat.Location{Switch: sw, Port: o.Port}, true, ingress)
+			s.transmit(netkat.Location{Switch: sw, Port: o.Port}, o.Fields, o.Meta, egress)
+		}
+	})
+}
+
+// Send emits a packet from the named host into the network.
+func (s *Sim) Send(host string, fields netkat.Packet) {
+	h, ok := s.Topo.HostByName(host)
+	if !ok {
+		return
+	}
+	meta := s.Plane.Inject(s, h.Attach.Switch, fields)
+	// Host link: serialization plus propagation from the host NIC.
+	free := s.linkFree[h.Loc()]
+	if free < s.now {
+		free = s.now
+	}
+	if free-s.now > s.Params.MaxLinkBacklog {
+		s.Dropped++
+		return
+	}
+	tx := float64(s.wireBytes()) / s.Params.LinkBandwidth
+	s.linkFree[h.Loc()] = free + tx
+	root := s.record(fields, h.Loc(), true, -1)
+	arrive := free + tx + s.Params.LinkLatency
+	s.At(arrive, func() {
+		s.arriveAtSwitch(h.Attach.Switch, h.Attach.Port, fields, meta, root)
+	})
+}
+
+// DeliveredTo returns deliveries to a host.
+func (s *Sim) DeliveredTo(host string) []Delivery {
+	var out []Delivery
+	for _, d := range s.Delivered {
+		if d.Host == host {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,522 @@
+// Package stateful implements Stateful NetKAT (Section 3.2 of the paper):
+// NetKAT extended with a global vector-valued state variable. A stateful
+// program compactly denotes a collection of static NetKAT configurations —
+// one per state-vector value, extracted by Project (the ⟦p⟧k function of
+// Figure 5) — together with the event-labeled transitions between them,
+// extracted by Events (the ⟪p⟫k function of Figure 6).
+package stateful
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eventnet/internal/netkat"
+)
+
+// State is a value ~k of the global state vector.
+type State []int
+
+// Clone returns an independent copy.
+func (s State) Clone() State { return append(State{}, s...) }
+
+// With returns a copy with index m set to n, growing the vector if needed.
+func (s State) With(m, n int) State {
+	t := s.Clone()
+	for len(t) <= m {
+		t = append(t, 0)
+	}
+	t[m] = n
+	return t
+}
+
+// Get returns the value at index m (0 if beyond the vector's length).
+func (s State) Get(m int) int {
+	if m < len(s) {
+		return s[m]
+	}
+	return 0
+}
+
+// Key returns a canonical map key.
+func (s State) Key() string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Equal reports pointwise equality (implicitly zero-padded).
+func (s State) Equal(o State) bool {
+	n := len(s)
+	if len(o) > n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if s.Get(i) != o.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the state in the paper's [v0,v1,...] notation.
+func (s State) String() string { return s.Key() }
+
+// Pred is a Stateful NetKAT test: a boolean formula over header fields and
+// the global state vector.
+type Pred interface {
+	isSPred()
+	String() string
+}
+
+// PTrue is the test true.
+type PTrue struct{}
+
+// PFalse is the test false.
+type PFalse struct{}
+
+// PTest is the header test field = value (fields include sw and pt).
+type PTest struct {
+	Field string
+	Value int
+}
+
+// PState is the state test state(Index) = Value.
+type PState struct {
+	Index int
+	Value int
+}
+
+// PNot is negation.
+type PNot struct{ P Pred }
+
+// PAnd is conjunction.
+type PAnd struct{ L, R Pred }
+
+// POr is disjunction.
+type POr struct{ L, R Pred }
+
+func (PTrue) isSPred()  {}
+func (PFalse) isSPred() {}
+func (PTest) isSPred()  {}
+func (PState) isSPred() {}
+func (PNot) isSPred()   {}
+func (PAnd) isSPred()   {}
+func (POr) isSPred()    {}
+
+func (PTrue) String() string    { return "true" }
+func (PFalse) String() string   { return "false" }
+func (t PTest) String() string  { return fmt.Sprintf("%s=%d", t.Field, t.Value) }
+func (t PState) String() string { return fmt.Sprintf("state(%d)=%d", t.Index, t.Value) }
+func (n PNot) String() string   { return "!" + parenP(n.P, 3) }
+func (a PAnd) String() string   { return parenP(a.L, 2) + " & " + parenP(a.R, 2) }
+func (o POr) String() string    { return parenP(o.L, 1) + " | " + parenP(o.R, 1) }
+
+func plevel(p Pred) int {
+	switch p.(type) {
+	case POr:
+		return 1
+	case PAnd:
+		return 2
+	case PNot:
+		return 3
+	default:
+		return 4
+	}
+}
+
+func parenP(p Pred, level int) string {
+	if plevel(p) < level {
+		return "(" + p.String() + ")"
+	}
+	return p.String()
+}
+
+// StateSet is a vector assignment carried by a link: state(Index) <- Value
+// for each entry, applied simultaneously.
+type StateSet struct {
+	Index int
+	Value int
+}
+
+// Cmd is a Stateful NetKAT command.
+type Cmd interface {
+	isCmd()
+	String() string
+}
+
+// CPred lifts a test to a command.
+type CPred struct{ P Pred }
+
+// CAssign is the field assignment x <- n.
+type CAssign struct {
+	Field string
+	Value int
+}
+
+// CUnion is p + q.
+type CUnion struct{ L, R Cmd }
+
+// CSeq is p ; q.
+type CSeq struct{ L, R Cmd }
+
+// CStar is p*.
+type CStar struct{ P Cmd }
+
+// CLink is the plain link definition (n1:m1) -> (n2:m2).
+type CLink struct{ Src, Dst netkat.Location }
+
+// CLinkState is the event-generating link definition
+// (n1:m1) -> (n2:m2) <state(m) <- n, ...>: crossing it updates the global
+// state, and the arrival of the packet at Dst is the triggering event.
+type CLinkState struct {
+	Src, Dst netkat.Location
+	Sets     []StateSet
+}
+
+func (CPred) isCmd()      {}
+func (CAssign) isCmd()    {}
+func (CUnion) isCmd()     {}
+func (CSeq) isCmd()       {}
+func (CStar) isCmd()      {}
+func (CLink) isCmd()      {}
+func (CLinkState) isCmd() {}
+
+func (c CPred) String() string   { return c.P.String() }
+func (c CAssign) String() string { return fmt.Sprintf("%s<-%d", c.Field, c.Value) }
+func (c CUnion) String() string  { return parenC(c.L, 1) + " + " + parenC(c.R, 1) }
+func (c CSeq) String() string    { return parenC(c.L, 2) + "; " + parenC(c.R, 2) }
+func (c CStar) String() string {
+	if starSafe(c.P) {
+		return c.P.String() + "*"
+	}
+	return "(" + c.P.String() + ")*"
+}
+
+// starSafe reports whether a command prints as a single postfix-star
+// operand without parentheses (matching the parser, where '*' binds
+// tighter than '&' and '|' but looser than '!').
+func starSafe(c Cmd) bool {
+	switch q := c.(type) {
+	case CAssign, CLink, CLinkState:
+		return true
+	case CPred:
+		switch q.P.(type) {
+		case PAnd, POr:
+			return false
+		default:
+			return true
+		}
+	default:
+		return false
+	}
+}
+func (c CLink) String() string { return fmt.Sprintf("(%v)=>(%v)", c.Src, c.Dst) }
+func (c CLinkState) String() string {
+	parts := make([]string, len(c.Sets))
+	for i, s := range c.Sets {
+		parts[i] = fmt.Sprintf("state(%d)<-%d", s.Index, s.Value)
+	}
+	return fmt.Sprintf("(%v)=>(%v)<%s>", c.Src, c.Dst, strings.Join(parts, ", "))
+}
+
+func clevel(c Cmd) int {
+	switch c.(type) {
+	case CUnion:
+		return 1
+	case CSeq:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func parenC(c Cmd, level int) string {
+	if clevel(c) < level {
+		return "(" + c.String() + ")"
+	}
+	return c.String()
+}
+
+// Project extracts the standard NetKAT program ⟦p⟧k for state vector k
+// (Figure 5): state tests are resolved against k and link state-updates
+// are erased, leaving the plain link.
+func Project(c Cmd, k State) netkat.Policy {
+	switch q := c.(type) {
+	case CPred:
+		return netkat.Filter{P: projectPred(q.P, k)}
+	case CAssign:
+		return netkat.Assign{Field: q.Field, Value: q.Value}
+	case CUnion:
+		return netkat.Union{L: Project(q.L, k), R: Project(q.R, k)}
+	case CSeq:
+		return netkat.Seq{L: Project(q.L, k), R: Project(q.R, k)}
+	case CStar:
+		return netkat.Star{P: Project(q.P, k)}
+	case CLink:
+		return netkat.Link{Src: q.Src, Dst: q.Dst}
+	case CLinkState:
+		return netkat.Link{Src: q.Src, Dst: q.Dst}
+	default:
+		panic(fmt.Sprintf("stateful: unknown command %T", c))
+	}
+}
+
+func projectPred(p Pred, k State) netkat.Pred {
+	switch q := p.(type) {
+	case PTrue:
+		return netkat.True{}
+	case PFalse:
+		return netkat.False{}
+	case PTest:
+		return netkat.Test{Field: q.Field, Value: q.Value}
+	case PState:
+		if k.Get(q.Index) == q.Value {
+			return netkat.True{}
+		}
+		return netkat.False{}
+	case PNot:
+		return netkat.Not{P: projectPred(q.P, k)}
+	case PAnd:
+		return netkat.And{L: projectPred(q.L, k), R: projectPred(q.R, k)}
+	case POr:
+		return netkat.Or{L: projectPred(q.L, k), R: projectPred(q.R, k)}
+	default:
+		panic(fmt.Sprintf("stateful: unknown predicate %T", p))
+	}
+}
+
+// Edge is one event-edge extracted from a program: in state From, the
+// arrival at Loc of a packet satisfying Guard moves the system to state To
+// (the tuple (~k, (ϕ, s2, p2), ~k[m ↦ n]) of Figure 6).
+type Edge struct {
+	From  State
+	Guard *netkat.Conj
+	Loc   netkat.Location
+	To    State
+}
+
+// Key returns a canonical identity for deduplication.
+func (e Edge) Key() string {
+	return e.From.Key() + "|" + e.Guard.Key() + "@" + e.Loc.String() + "|" + e.To.Key()
+}
+
+// String renders the edge.
+func (e Edge) String() string {
+	return fmt.Sprintf("%v --(%v @ %v)--> %v", e.From, e.Guard, e.Loc, e.To)
+}
+
+// result is the (D, P) pair threaded through the Figure 6 recursion:
+// event-edges plus the set of updated test conjunctions.
+type result struct {
+	edges []Edge
+	phis  []*netkat.Conj
+}
+
+func (r result) union(o result) result {
+	seenE := map[string]bool{}
+	var edges []Edge
+	for _, e := range append(append([]Edge{}, r.edges...), o.edges...) {
+		if !seenE[e.Key()] {
+			seenE[e.Key()] = true
+			edges = append(edges, e)
+		}
+	}
+	seenP := map[string]bool{}
+	var phis []*netkat.Conj
+	for _, c := range append(append([]*netkat.Conj{}, r.phis...), o.phis...) {
+		if !seenP[c.Key()] {
+			seenP[c.Key()] = true
+			phis = append(phis, c)
+		}
+	}
+	return result{edges: edges, phis: phis}
+}
+
+// starEventBound caps the F^j fixpoint of Figure 6 for p*.
+const starEventBound = 100
+
+// Events computes ⟪p⟫k true: the event-edges leaving state k, together
+// with the final test conjunctions (Figure 6).
+func Events(c Cmd, k State) ([]Edge, error) {
+	r, err := events(c, k, netkat.NewConj())
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(r.edges, func(i, j int) bool { return r.edges[i].Key() < r.edges[j].Key() })
+	return r.edges, nil
+}
+
+// events is ⟪c⟫k ϕ. It propagates the conjunction of tests seen so far and
+// records an event-edge at each state-updating link.
+func events(c Cmd, k State, phi *netkat.Conj) (result, error) {
+	switch q := c.(type) {
+	case CPred:
+		return eventsPred(q.P, k, phi, false)
+	case CAssign:
+		// ⟪f <- n⟫k ϕ = ({}, {(∃f : ϕ) ∧ f=n}). Event guards range over
+		// header fields only (an event is matched by sw/pt separately), so
+		// port assignments leave ϕ unchanged.
+		if q.Field == netkat.FieldPt || q.Field == netkat.FieldSw {
+			return result{phis: []*netkat.Conj{phi.Clone()}}, nil
+		}
+		c2 := phi.Clone()
+		c2.Exists(q.Field)
+		if !c2.AddEq(q.Field, q.Value) {
+			return result{}, nil
+		}
+		return result{phis: []*netkat.Conj{c2}}, nil
+	case CUnion:
+		l, err := events(q.L, k, phi)
+		if err != nil {
+			return result{}, err
+		}
+		r, err := events(q.R, k, phi)
+		if err != nil {
+			return result{}, err
+		}
+		return l.union(r), nil
+	case CSeq:
+		// Kleisli composition: run q.L, then q.R from each resulting ϕ.
+		l, err := events(q.L, k, phi)
+		if err != nil {
+			return result{}, err
+		}
+		out := result{edges: l.edges}
+		for _, p2 := range l.phis {
+			r, err := events(q.R, k, p2)
+			if err != nil {
+				return result{}, err
+			}
+			out = out.union(r)
+		}
+		return out, nil
+	case CStar:
+		// ⊔j F^j_p(ϕ, k), iterated to a fixpoint.
+		acc := result{phis: []*netkat.Conj{phi.Clone()}}
+		frontier := acc.phis
+		for i := 0; i < starEventBound; i++ {
+			var next result
+			for _, p2 := range frontier {
+				r, err := events(q.P, k, p2)
+				if err != nil {
+					return result{}, err
+				}
+				next = next.union(r)
+			}
+			before := len(acc.edges) + len(acc.phis)
+			merged := acc.union(next)
+			if len(merged.edges)+len(merged.phis) == before {
+				return acc, nil
+			}
+			// New frontier: phis not previously seen.
+			seen := map[string]bool{}
+			for _, c := range acc.phis {
+				seen[c.Key()] = true
+			}
+			frontier = nil
+			for _, c := range merged.phis {
+				if !seen[c.Key()] {
+					frontier = append(frontier, c)
+				}
+			}
+			acc = merged
+		}
+		return result{}, fmt.Errorf("stateful: star event extraction did not stabilize within %d iterations", starEventBound)
+	case CLink:
+		return result{phis: []*netkat.Conj{phi.Clone()}}, nil
+	case CLinkState:
+		to := k.Clone()
+		for _, s := range q.Sets {
+			to = to.With(s.Index, s.Value)
+		}
+		e := Edge{From: k.Clone(), Guard: phi.Clone(), Loc: q.Dst, To: to}
+		return result{edges: []Edge{e}, phis: []*netkat.Conj{phi.Clone()}}, nil
+	default:
+		return result{}, fmt.Errorf("stateful: unknown command %T", c)
+	}
+}
+
+// eventsPred handles tests, following Figure 6: field tests extend ϕ,
+// sw/pt tests leave it unchanged, state tests are resolved against k, and
+// negation is pushed inward.
+func eventsPred(p Pred, k State, phi *netkat.Conj, neg bool) (result, error) {
+	switch q := p.(type) {
+	case PTrue:
+		if neg {
+			return result{}, nil
+		}
+		return result{phis: []*netkat.Conj{phi.Clone()}}, nil
+	case PFalse:
+		if neg {
+			return result{phis: []*netkat.Conj{phi.Clone()}}, nil
+		}
+		return result{}, nil
+	case PTest:
+		// ⟪sw = n⟫ and ⟪pt = n⟫ do not constrain the event guard
+		// (Figure 6 maps them to ⟪true⟫): the event's location is fixed by
+		// the link, not by where the test happened.
+		if q.Field == netkat.FieldSw || q.Field == netkat.FieldPt {
+			return result{phis: []*netkat.Conj{phi.Clone()}}, nil
+		}
+		c2 := phi.Clone()
+		ok := false
+		if neg {
+			ok = c2.AddNeq(q.Field, q.Value)
+		} else {
+			ok = c2.AddEq(q.Field, q.Value)
+		}
+		if !ok {
+			return result{}, nil
+		}
+		return result{phis: []*netkat.Conj{c2}}, nil
+	case PState:
+		holds := k.Get(q.Index) == q.Value
+		if neg {
+			holds = !holds
+		}
+		if holds {
+			return result{phis: []*netkat.Conj{phi.Clone()}}, nil
+		}
+		return result{}, nil
+	case PNot:
+		return eventsPred(q.P, k, phi, !neg)
+	case PAnd:
+		if neg {
+			// ¬(a ∧ b) = ¬a ∨ ¬b
+			return eventsPred(POr{PNot{q.L}, PNot{q.R}}, k, phi, false)
+		}
+		// a ∧ b = a ; b
+		l, err := eventsPred(q.L, k, phi, false)
+		if err != nil {
+			return result{}, err
+		}
+		out := result{edges: l.edges}
+		for _, p2 := range l.phis {
+			r, err := eventsPred(q.R, k, p2, false)
+			if err != nil {
+				return result{}, err
+			}
+			out = out.union(r)
+		}
+		return out, nil
+	case POr:
+		if neg {
+			// ¬(a ∨ b) = ¬a ∧ ¬b
+			return eventsPred(PAnd{PNot{q.L}, PNot{q.R}}, k, phi, false)
+		}
+		l, err := eventsPred(q.L, k, phi, false)
+		if err != nil {
+			return result{}, err
+		}
+		r, err := eventsPred(q.R, k, phi, false)
+		if err != nil {
+			return result{}, err
+		}
+		return l.union(r), nil
+	default:
+		return result{}, fmt.Errorf("stateful: unknown predicate %T", p)
+	}
+}

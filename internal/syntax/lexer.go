@@ -1,0 +1,170 @@
+// Package syntax provides a concrete syntax for Stateful NetKAT
+// (Figure 4 of the paper) with a lexer, a recursive-descent parser, and a
+// printer. The ASCII rendering of the paper's notation is:
+//
+//	test        f=4, f!=4, sw=1, pt=2, state(0)=1, state=[0,1]
+//	assignment  f<-4, pt<-1
+//	link        (1:1)=>(4:1)
+//	event link  (1:1)=>(4:1)<state(0)<-1>  or  ...<state<-[1]>
+//	operators   !a, a & b, a | b, p; q, p + q, p*
+//	host names  H1, H2, ... (sugar for 101, 102, ...)
+//
+// The printer emits exactly the syntax stateful.Cmd.String produces, and
+// the parser accepts it back: parse-print round trips are property-tested.
+package syntax
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokLAngle   // <
+	TokRAngle   // >
+	TokEq       // =
+	TokNeq      // !=
+	TokNot      // !
+	TokAssign   // <-
+	TokLink     // =>
+	TokSemi     // ;
+	TokPlus     // +
+	TokStar     // *
+	TokAnd      // &
+	TokOr       // |
+	TokColon    // :
+	TokComma    // ,
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "integer"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokLAngle:
+		return "'<'"
+	case TokRAngle:
+		return "'>'"
+	case TokEq:
+		return "'='"
+	case TokNeq:
+		return "'!='"
+	case TokNot:
+		return "'!'"
+	case TokAssign:
+		return "'<-'"
+	case TokLink:
+		return "'=>'"
+	case TokSemi:
+		return "';'"
+	case TokPlus:
+		return "'+'"
+	case TokStar:
+		return "'*'"
+	case TokAnd:
+		return "'&'"
+	case TokOr:
+		return "'|'"
+	case TokColon:
+		return "':'"
+	case TokComma:
+		return "','"
+	default:
+		return "?"
+	}
+}
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int
+	Pos  int // byte offset
+}
+
+// Lex tokenizes the input. Comments run from '#' to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			n, err := strconv.Atoi(src[i:j])
+			if err != nil {
+				return nil, fmt.Errorf("syntax: bad integer at offset %d: %v", i, err)
+			}
+			toks = append(toks, Token{Kind: TokInt, Text: src[i:j], Int: n, Pos: i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: src[i:j], Pos: i})
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == "<-":
+				toks = append(toks, Token{Kind: TokAssign, Text: two, Pos: i})
+				i += 2
+			case two == "=>":
+				toks = append(toks, Token{Kind: TokLink, Text: two, Pos: i})
+				i += 2
+			case two == "!=":
+				toks = append(toks, Token{Kind: TokNeq, Text: two, Pos: i})
+				i += 2
+			default:
+				kind, ok := map[byte]TokKind{
+					'(': TokLParen, ')': TokRParen, '[': TokLBracket, ']': TokRBracket,
+					'<': TokLAngle, '>': TokRAngle, '=': TokEq, '!': TokNot,
+					';': TokSemi, '+': TokPlus, '*': TokStar, '&': TokAnd,
+					'|': TokOr, ':': TokColon, ',': TokComma,
+				}[c]
+				if !ok {
+					return nil, fmt.Errorf("syntax: unexpected character %q at offset %d", c, i)
+				}
+				toks = append(toks, Token{Kind: kind, Text: string(c), Pos: i})
+				i++
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: len(src)})
+	return toks, nil
+}

@@ -1,0 +1,266 @@
+package syntax
+
+import (
+	"math/rand"
+	"testing"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/netkat"
+	"eventnet/internal/stateful"
+)
+
+func mustParse(t *testing.T, src string) stateful.Cmd {
+	t.Helper()
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return c
+}
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"true", "true"},
+		{"pt=2", "pt=2"},
+		{"dst!=4", "!dst=4"},
+		{"pt<-1", "pt<-1"},
+		{"pt=2 & dst=104", "pt=2 & dst=104"},
+		{"a=1 | b=2", "a=1 | b=2"},
+		{"!(a=1 & b=2)", "!(a=1 & b=2)"},
+		{"pt=2; pt<-1", "pt=2; pt<-1"},
+		{"a=1 + b=2", "a=1 + b=2"},
+		{"(1:1)=>(4:1)", "(1:1)=>(4:1)"},
+		{"(1:1)=>(4:1)<state(0)<-1>", "(1:1)=>(4:1)<state(0)<-1>"},
+		{"state(0)=1", "state(0)=1"},
+		{"state(0)!=1", "!state(0)=1"},
+		{"(a=1; b<-2)*", "(a=1; b<-2)*"},
+		{"dst=H4", "dst=104"},
+		{"a=1; b=2 + c=3", "a=1; b=2 + c=3"}, // '+' binds loosest
+	}
+	for _, c := range cases {
+		got := mustParse(t, c.src).String()
+		if got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseVectorSugar(t *testing.T) {
+	c := mustParse(t, "state=[0,1]")
+	want := stateful.PAnd{L: stateful.PState{Index: 0, Value: 0}, R: stateful.PState{Index: 1, Value: 1}}
+	if c.String() != (stateful.CPred{P: want}).String() {
+		t.Errorf("vector test: %v", c)
+	}
+	c = mustParse(t, "(1:1)=>(4:1)<state<-[7,8]>")
+	ls, ok := c.(stateful.CLinkState)
+	if !ok || len(ls.Sets) != 2 || ls.Sets[0] != (stateful.StateSet{Index: 0, Value: 7}) || ls.Sets[1] != (stateful.StateSet{Index: 1, Value: 8}) {
+		t.Errorf("vector assign: %#v", c)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "pt=", "pt<-", "a=1 &", "a=1 & pt<-2", "pt<-2 | a=1",
+		"!pt<-1", "(1:1)=>(4:1", "(1:1)=>(4:1)<state>", "state=[]",
+		"a=1 b=2", "dst=Hx", "dst=unknown", "@",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestParseEnv(t *testing.T) {
+	p, err := NewParser("dst=server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Env["server"] = 42
+	c, err := p.ParseCmd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != "dst=42" {
+		t.Errorf("env resolution: %v", c)
+	}
+}
+
+// TestFirewallSourceMatchesAST parses the Figure 9(a) program text and
+// checks it behaves identically to the AST in internal/apps.
+func TestFirewallSourceMatchesAST(t *testing.T) {
+	src := `
+# Figure 9(a): stateful firewall
+pt=2 & dst=H4; pt<-1; (state=[0]; (1:1)=>(4:1)<state<-[1]>
+                      + state!=[0]; (1:1)=>(4:1)); pt<-2
++ pt=2 & dst=H1; state=[1]; pt<-1; (4:1)=>(1:1); pt<-2
+`
+	parsed := mustParse(t, src)
+	ast := apps.Firewall().Prog.Cmd
+	for _, k := range []stateful.State{{0}, {1}} {
+		pp := stateful.Project(parsed, k)
+		pa := stateful.Project(ast, k)
+		// Compare semantically on a grid of packets.
+		for _, dst := range []int{apps.H(1), apps.H(4), 7} {
+			for sw := 1; sw <= 4; sw++ {
+				for pt := 1; pt <= 2; pt++ {
+					lp := netkat.LocatedPacket{Pkt: netkat.Packet{"dst": dst}, Loc: netkat.Location{Switch: sw, Port: pt}}
+					if !netkat.EquivOn(pp, pa, []netkat.LocatedPacket{lp}) {
+						t.Fatalf("state %v: parsed and AST differ on %v", k, lp)
+					}
+				}
+			}
+		}
+		ep, err := stateful.Events(parsed, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ea, err := stateful.Events(ast, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ep) != len(ea) {
+			t.Fatalf("state %v: %d vs %d event edges", k, len(ep), len(ea))
+		}
+		for i := range ep {
+			if ep[i].Key() != ea[i].Key() {
+				t.Fatalf("state %v: edge %d differs: %v vs %v", k, i, ep[i], ea[i])
+			}
+		}
+	}
+}
+
+// randCmd generates a random command for round-trip testing.
+func randCmd(r *rand.Rand, depth int) stateful.Cmd {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return stateful.CPred{P: randPred(r, 0)}
+		case 1:
+			return stateful.CAssign{Field: []string{"a", "b", "pt"}[r.Intn(3)], Value: r.Intn(4)}
+		case 2:
+			return stateful.CLink{Src: netkat.Location{Switch: 1 + r.Intn(3), Port: 1 + r.Intn(3)}, Dst: netkat.Location{Switch: 1 + r.Intn(3), Port: 1 + r.Intn(3)}}
+		case 3:
+			return stateful.CLinkState{
+				Src:  netkat.Location{Switch: 1 + r.Intn(3), Port: 1 + r.Intn(3)},
+				Dst:  netkat.Location{Switch: 1 + r.Intn(3), Port: 1 + r.Intn(3)},
+				Sets: []stateful.StateSet{{Index: r.Intn(2), Value: r.Intn(3)}},
+			}
+		default:
+			return stateful.CPred{P: stateful.PState{Index: r.Intn(2), Value: r.Intn(3)}}
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return stateful.CUnion{L: randCmd(r, depth-1), R: randCmd(r, depth-1)}
+	case 1:
+		return stateful.CSeq{L: randCmd(r, depth-1), R: randCmd(r, depth-1)}
+	case 2:
+		return stateful.CStar{P: randCmd(r, depth-1)}
+	default:
+		return stateful.CPred{P: randPred(r, depth)}
+	}
+}
+
+func randPred(r *rand.Rand, depth int) stateful.Pred {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return stateful.PTrue{}
+		case 1:
+			return stateful.PFalse{}
+		case 2:
+			return stateful.PState{Index: r.Intn(2), Value: r.Intn(3)}
+		default:
+			return stateful.PTest{Field: []string{"a", "b", "pt"}[r.Intn(3)], Value: r.Intn(4)}
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return stateful.PNot{P: randPred(r, depth-1)}
+	case 1:
+		return stateful.PAnd{L: randPred(r, depth-1), R: randPred(r, depth-1)}
+	default:
+		return stateful.POr{L: randPred(r, depth-1), R: randPred(r, depth-1)}
+	}
+}
+
+// TestRoundTrip: parse(print(c)) prints identically to c, for random
+// commands.
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		c := randCmd(r, 3)
+		src := c.String()
+		parsed, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v (from %#v)", src, err, c)
+		}
+		if got := parsed.String(); got != src {
+			t.Fatalf("round trip: %q -> %q", src, got)
+		}
+	}
+}
+
+// TestAppsRoundTrip: every application program round-trips through the
+// concrete syntax.
+func TestAppsRoundTrip(t *testing.T) {
+	for _, a := range apps.All() {
+		src := a.Prog.Cmd.String()
+		parsed, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: Parse: %v", a.Name, err)
+		}
+		if got := parsed.String(); got != src {
+			t.Fatalf("%s: round trip changed program:\n%s\n->\n%s", a.Name, src, got)
+		}
+	}
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := Lex("pt<-1; (1:1)=>(4:1)<state(0)<-2> + a!=3 & !b=4 | c=5* # comment\n true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []TokKind{
+		TokIdent, TokAssign, TokInt, TokSemi,
+		TokLParen, TokInt, TokColon, TokInt, TokRParen, TokLink,
+		TokLParen, TokInt, TokColon, TokInt, TokRParen,
+		TokLAngle, TokIdent, TokLParen, TokInt, TokRParen, TokAssign, TokInt, TokRAngle,
+		TokPlus, TokIdent, TokNeq, TokInt, TokAnd, TokNot, TokIdent, TokEq, TokInt,
+		TokOr, TokIdent, TokEq, TokInt, TokStar, TokIdent, TokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d: %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"@", "a $ b", "pt <- ~1"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks, err := Lex("# full line\na=1 # trailing\n# another\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // a, =, 1, EOF
+		t.Fatalf("tokens: %v", toks)
+	}
+}

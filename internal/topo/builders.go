@@ -1,0 +1,77 @@
+package topo
+
+import "eventnet/internal/netkat"
+
+// Host node IDs are offset well above switch IDs so they never collide.
+const hostIDBase = 100
+
+// HostID returns the conventional node ID for host Hn.
+func HostID(n int) int { return hostIDBase + n }
+
+func loc(sw, pt int) netkat.Location { return netkat.Location{Switch: sw, Port: pt} }
+
+// Firewall builds the two-switch topology of Figures 1 and 8(a,d):
+// H1 - s1:2, s1:1 - s4:1, s4:2 - H4.
+func Firewall() *Topology {
+	t := New()
+	t.AddSwitch(1)
+	t.AddSwitch(4)
+	t.AddBiLink(loc(1, 1), loc(4, 1))
+	t.AddHost(HostID(1), "H1", loc(1, 2))
+	t.AddHost(HostID(4), "H4", loc(4, 2))
+	return t
+}
+
+// LearningSwitch builds the three-switch topology of Figure 8(b):
+// s4 is the hub; H1 behind s1, H2 behind s2, H4 at s4.
+// Links: (1:1)-(4:1), (2:1)-(4:3). Hosts at port 2 of their switch.
+func LearningSwitch() *Topology {
+	t := New()
+	for _, s := range []int{1, 2, 4} {
+		t.AddSwitch(s)
+	}
+	t.AddBiLink(loc(1, 1), loc(4, 1))
+	t.AddBiLink(loc(2, 1), loc(4, 3))
+	t.AddHost(HostID(1), "H1", loc(1, 2))
+	t.AddHost(HostID(2), "H2", loc(2, 2))
+	t.AddHost(HostID(4), "H4", loc(4, 2))
+	return t
+}
+
+// Star builds the four-switch topology of Figure 8(c,e): s4 is the hub with
+// H4; H1, H2, H3 behind s1, s2, s3. Links: (1:1)-(4:1), (2:1)-(4:3),
+// (3:1)-(4:4). Hosts at port 2.
+func Star() *Topology {
+	t := New()
+	for _, s := range []int{1, 2, 3, 4} {
+		t.AddSwitch(s)
+	}
+	t.AddBiLink(loc(1, 1), loc(4, 1))
+	t.AddBiLink(loc(2, 1), loc(4, 3))
+	t.AddBiLink(loc(3, 1), loc(4, 4))
+	t.AddHost(HostID(1), "H1", loc(1, 2))
+	t.AddHost(HostID(2), "H2", loc(2, 2))
+	t.AddHost(HostID(3), "H3", loc(3, 2))
+	t.AddHost(HostID(4), "H4", loc(4, 2))
+	return t
+}
+
+// Ring builds the synthetic ring of Section 5.2 with the given diameter
+// (number of switches between H1 and H2 going one way). The ring has
+// 2*diameter switches numbered 1..2d; switch i connects to i+1 (mod). H1 is
+// attached to switch 1, H2 to switch diameter+1, both at port 3. Port 1 of
+// each switch faces clockwise (toward i+1), port 2 counterclockwise.
+func Ring(diameter int) *Topology {
+	n := 2 * diameter
+	t := New()
+	for i := 1; i <= n; i++ {
+		t.AddSwitch(i)
+	}
+	for i := 1; i <= n; i++ {
+		next := i%n + 1
+		t.AddBiLink(loc(i, 1), loc(next, 2))
+	}
+	t.AddHost(HostID(1), "H1", loc(1, 3))
+	t.AddHost(HostID(2), "H2", loc(diameter+1, 3))
+	return t
+}

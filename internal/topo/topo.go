@@ -1,0 +1,152 @@
+// Package topo models network topologies: switches, hosts, and
+// unidirectional physical links, plus builders for the topologies used in
+// the paper's evaluation (Figure 8) and the synthetic ring (Section 5.2).
+//
+// Hosts are modeled as nodes with a single port 0; a host is attached to an
+// edge switch by a bidirectional link between host:0 and switch:port.
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"eventnet/internal/netkat"
+)
+
+// Link is a unidirectional physical link (lsrc, ldst).
+type Link struct {
+	Src, Dst netkat.Location
+}
+
+// Host is a packet source/sink attached to an edge switch.
+type Host struct {
+	ID     int    // node ID of the host itself
+	Name   string // e.g. "H1"
+	Attach netkat.Location
+}
+
+// Loc returns the host's own location (port 0 of the host node).
+func (h Host) Loc() netkat.Location { return netkat.Location{Switch: h.ID, Port: 0} }
+
+// Topology is a set of switches, hosts, and links.
+type Topology struct {
+	Switches []int
+	Hosts    []Host
+	Links    []Link // switch-to-switch links only; host links are derived
+}
+
+// New returns an empty topology.
+func New() *Topology { return &Topology{} }
+
+// AddSwitch registers a switch ID (idempotent).
+func (t *Topology) AddSwitch(id int) {
+	for _, s := range t.Switches {
+		if s == id {
+			return
+		}
+	}
+	t.Switches = append(t.Switches, id)
+	sort.Ints(t.Switches)
+}
+
+// AddBiLink adds links in both directions between two switch ports.
+func (t *Topology) AddBiLink(a, b netkat.Location) {
+	t.AddSwitch(a.Switch)
+	t.AddSwitch(b.Switch)
+	t.Links = append(t.Links, Link{Src: a, Dst: b}, Link{Src: b, Dst: a})
+}
+
+// AddHost attaches a named host to a switch port.
+func (t *Topology) AddHost(id int, name string, attach netkat.Location) {
+	t.AddSwitch(attach.Switch)
+	t.Hosts = append(t.Hosts, Host{ID: id, Name: name, Attach: attach})
+}
+
+// HostByName returns the host with the given name.
+func (t *Topology) HostByName(name string) (Host, bool) {
+	for _, h := range t.Hosts {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return Host{}, false
+}
+
+// HostByID returns the host with the given node ID.
+func (t *Topology) HostByID(id int) (Host, bool) {
+	for _, h := range t.Hosts {
+		if h.ID == id {
+			return h, true
+		}
+	}
+	return Host{}, false
+}
+
+// IsHostNode reports whether the node ID belongs to a host.
+func (t *Topology) IsHostNode(id int) bool {
+	_, ok := t.HostByID(id)
+	return ok
+}
+
+// HostLocs returns the set of host locations (used by the trace oracle to
+// identify trace starting points).
+func (t *Topology) HostLocs() map[netkat.Location]bool {
+	m := map[netkat.Location]bool{}
+	for _, h := range t.Hosts {
+		m[h.Loc()] = true
+	}
+	return m
+}
+
+// AllLinks returns every unidirectional link including host-switch links in
+// both directions.
+func (t *Topology) AllLinks() []Link {
+	out := append([]Link{}, t.Links...)
+	for _, h := range t.Hosts {
+		out = append(out, Link{Src: h.Loc(), Dst: h.Attach}, Link{Src: h.Attach, Dst: h.Loc()})
+	}
+	return out
+}
+
+// LinkFrom returns the link leaving the given location, if any. Topologies
+// in this package have at most one link per (node, port) direction.
+func (t *Topology) LinkFrom(src netkat.Location) (Link, bool) {
+	for _, lk := range t.AllLinks() {
+		if lk.Src == src {
+			return lk, true
+		}
+	}
+	return Link{}, false
+}
+
+// Validate checks structural sanity: link endpoints are registered
+// switches, host IDs do not collide with switch IDs, and no two links leave
+// the same port.
+func (t *Topology) Validate() error {
+	sw := map[int]bool{}
+	for _, s := range t.Switches {
+		sw[s] = true
+	}
+	for _, h := range t.Hosts {
+		if sw[h.ID] {
+			return fmt.Errorf("topo: host %s ID %d collides with a switch ID", h.Name, h.ID)
+		}
+		if !sw[h.Attach.Switch] {
+			return fmt.Errorf("topo: host %s attaches to unknown switch %d", h.Name, h.Attach.Switch)
+		}
+	}
+	seen := map[netkat.Location]bool{}
+	for _, lk := range t.AllLinks() {
+		if !sw[lk.Src.Switch] && !t.IsHostNode(lk.Src.Switch) {
+			return fmt.Errorf("topo: link source %v is not a node", lk.Src)
+		}
+		if !sw[lk.Dst.Switch] && !t.IsHostNode(lk.Dst.Switch) {
+			return fmt.Errorf("topo: link destination %v is not a node", lk.Dst)
+		}
+		if seen[lk.Src] {
+			return fmt.Errorf("topo: two links leave %v", lk.Src)
+		}
+		seen[lk.Src] = true
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package topo
+
+import (
+	"testing"
+
+	"eventnet/internal/netkat"
+)
+
+func TestBuildersValid(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		t    *Topology
+	}{
+		{"firewall", Firewall()},
+		{"learning-switch", LearningSwitch()},
+		{"star", Star()},
+		{"ring-2", Ring(2)},
+		{"ring-8", Ring(8)},
+	} {
+		if err := tc.t.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestFirewallShape(t *testing.T) {
+	tp := Firewall()
+	if len(tp.Switches) != 2 || len(tp.Hosts) != 2 {
+		t.Fatalf("shape: %v switches, %v hosts", tp.Switches, tp.Hosts)
+	}
+	h1, ok := tp.HostByName("H1")
+	if !ok || h1.Attach != (netkat.Location{Switch: 1, Port: 2}) {
+		t.Errorf("H1: %v", h1)
+	}
+	lk, ok := tp.LinkFrom(netkat.Location{Switch: 1, Port: 1})
+	if !ok || lk.Dst != (netkat.Location{Switch: 4, Port: 1}) {
+		t.Errorf("s1 link: %v", lk)
+	}
+	// Host link both ways.
+	lk, ok = tp.LinkFrom(h1.Loc())
+	if !ok || lk.Dst != h1.Attach {
+		t.Errorf("host uplink: %v", lk)
+	}
+	lk, ok = tp.LinkFrom(h1.Attach)
+	if !ok || lk.Dst != h1.Loc() {
+		t.Errorf("host downlink: %v", lk)
+	}
+}
+
+func TestRingShape(t *testing.T) {
+	d := 3
+	tp := Ring(d)
+	if len(tp.Switches) != 2*d {
+		t.Fatalf("switches: %v", tp.Switches)
+	}
+	// Clockwise closure: following port 1 from switch 1 visits every
+	// switch and returns.
+	cur := 1
+	for i := 0; i < 2*d; i++ {
+		lk, ok := tp.LinkFrom(netkat.Location{Switch: cur, Port: 1})
+		if !ok {
+			t.Fatalf("no clockwise link from %d", cur)
+		}
+		cur = lk.Dst.Switch
+	}
+	if cur != 1 {
+		t.Fatalf("ring does not close: ended at %d", cur)
+	}
+	if h2, ok := tp.HostByName("H2"); !ok || h2.Attach.Switch != d+1 {
+		t.Errorf("H2 attach: %v", h2)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	tp := New()
+	tp.AddSwitch(1)
+	tp.AddHost(1, "H1", netkat.Location{Switch: 1, Port: 2}) // ID collides
+	if err := tp.Validate(); err == nil {
+		t.Error("host/switch ID collision accepted")
+	}
+	// AddHost auto-registers the attachment switch, so a dangling
+	// attachment can only arise from a hand-built value.
+	tp2 := &Topology{Switches: []int{1}, Hosts: []Host{{ID: HostID(1), Name: "H1", Attach: netkat.Location{Switch: 9, Port: 2}}}}
+	if err := tp2.Validate(); err == nil {
+		t.Error("dangling attachment accepted")
+	}
+	tp3 := New()
+	tp3.AddSwitch(1)
+	tp3.AddSwitch(2)
+	tp3.AddSwitch(3)
+	tp3.AddBiLink(netkat.Location{Switch: 1, Port: 1}, netkat.Location{Switch: 2, Port: 1})
+	tp3.AddBiLink(netkat.Location{Switch: 1, Port: 1}, netkat.Location{Switch: 3, Port: 1})
+	if err := tp3.Validate(); err == nil {
+		t.Error("two links from one port accepted")
+	}
+}
+
+func TestHostLocs(t *testing.T) {
+	tp := Star()
+	locs := tp.HostLocs()
+	if len(locs) != 4 {
+		t.Errorf("host locs: %v", locs)
+	}
+	for _, h := range tp.Hosts {
+		if !locs[h.Loc()] {
+			t.Errorf("missing %s", h.Name)
+		}
+	}
+}

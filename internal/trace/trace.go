@@ -1,0 +1,354 @@
+// Package trace implements the semantic machinery of Section 2 of the
+// paper: network traces, the happens-before relation (Definition 1),
+// membership in Traces(C), first occurrences FO(ntr, U), and the
+// correctness checkers for event-driven consistent updates (Definition 2)
+// and network event structures (Definition 6).
+//
+// The checkers are deliberately independent of the runtime in
+// internal/runtime: they judge recorded executions from the definitions
+// alone, so they can validate the correct implementation and convict the
+// uncoordinated baseline.
+package trace
+
+import (
+	"fmt"
+
+	"eventnet/internal/nes"
+	"eventnet/internal/netkat"
+)
+
+// NetTrace is a network trace ntr = (lp0 lp1 ..., T): an interleaved
+// sequence of located packets together with the set T of packet traces,
+// each an increasing sequence of indices into the located-packet sequence.
+type NetTrace struct {
+	Packets []netkat.DPacket
+	Trees   [][]int
+}
+
+// Append adds a trace point and returns its index.
+func (nt *NetTrace) Append(d netkat.DPacket) int {
+	nt.Packets = append(nt.Packets, d)
+	return len(nt.Packets) - 1
+}
+
+// PacketTrace returns the trace points of tree t.
+func (nt *NetTrace) PacketTrace(t []int) []netkat.DPacket {
+	out := make([]netkat.DPacket, len(t))
+	for i, k := range t {
+		out[i] = nt.Packets[k]
+	}
+	return out
+}
+
+// Validate checks the three conditions of the network-trace definition:
+// every index belongs to some packet trace; every packet trace is
+// increasing and starts at a host; and the successor graph forms a family
+// of trees (each index has at most one predecessor).
+func (nt *NetTrace) Validate(hosts map[netkat.Location]bool) error {
+	covered := make([]bool, len(nt.Packets))
+	parent := map[int]int{}
+	for ti, t := range nt.Trees {
+		if len(t) == 0 {
+			return fmt.Errorf("trace: tree %d is empty", ti)
+		}
+		if !hosts[nt.Packets[t[0]].Loc] || !nt.Packets[t[0]].Out {
+			return fmt.Errorf("trace: tree %d does not start at a host emission (starts at %v)", ti, nt.Packets[t[0]])
+		}
+		for i, k := range t {
+			if k < 0 || k >= len(nt.Packets) {
+				return fmt.Errorf("trace: tree %d index %d out of range", ti, k)
+			}
+			covered[k] = true
+			if i > 0 {
+				if k <= t[i-1] {
+					return fmt.Errorf("trace: tree %d is not increasing at position %d", ti, i)
+				}
+				if p, ok := parent[k]; ok && p != t[i-1] {
+					return fmt.Errorf("trace: index %d has two predecessors (%d and %d)", k, p, t[i-1])
+				}
+				parent[k] = t[i-1]
+			}
+		}
+	}
+	for k, ok := range covered {
+		if !ok {
+			return fmt.Errorf("trace: index %d belongs to no packet trace", k)
+		}
+	}
+	return nil
+}
+
+// HB is the happens-before relation of Definition 1, closed transitively.
+type HB struct {
+	n     int
+	reach []uint64 // n x ceil(n/64) bit matrix: reach[i*w+j/64] bit j
+	w     int
+}
+
+// HappensBefore computes the least partial order that respects (a) the
+// total order induced by the trace at each switch and (b) the order along
+// each packet trace.
+func HappensBefore(nt *NetTrace) *HB {
+	n := len(nt.Packets)
+	w := (n + 63) / 64
+	hb := &HB{n: n, w: w, reach: make([]uint64, n*w)}
+	// Direct edges.
+	adj := make([][]int, n)
+	// (a) same-switch chains: for each node ID, consecutive occurrences.
+	last := map[int]int{}
+	for i, lp := range nt.Packets {
+		if j, ok := last[lp.Loc.Switch]; ok {
+			adj[j] = append(adj[j], i)
+		}
+		last[lp.Loc.Switch] = i
+	}
+	// (b) per-packet-trace chains.
+	for _, t := range nt.Trees {
+		for i := 0; i+1 < len(t); i++ {
+			adj[t[i]] = append(adj[t[i]], t[i+1])
+		}
+	}
+	// Transitive closure: edges only go forward, so a reverse sweep works.
+	for i := n - 1; i >= 0; i-- {
+		row := hb.reach[i*w : (i+1)*w]
+		for _, j := range adj[i] {
+			row[j/64] |= 1 << uint(j%64)
+			rj := hb.reach[j*w : (j+1)*w]
+			for k := 0; k < w; k++ {
+				row[k] |= rj[k]
+			}
+		}
+	}
+	return hb
+}
+
+// Before reports lp_i ≺ lp_j.
+func (hb *HB) Before(i, j int) bool {
+	return hb.reach[i*hb.w+j/64]&(1<<uint(j%64)) != 0
+}
+
+// InTraces reports whether a packet trace belongs to Traces(C): it starts
+// at a host, each consecutive pair is a C-step, and it is complete — it
+// either ends absorbed at a host or at a located packet with no C-successor
+// (a packet C drops). Completeness is what lets the oracle distinguish "C
+// dropped this packet" from "the packet was processed by a different C".
+func InTraces(c netkat.DConfig, pt []netkat.DPacket, hosts map[netkat.Location]bool) bool {
+	if len(pt) == 0 || !hosts[pt[0].Loc] || !pt[0].Out {
+		return false
+	}
+	for i := 0; i+1 < len(pt); i++ {
+		found := false
+		for _, next := range c.DStep(pt[i]) {
+			if next.Equal(pt[i+1]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	last := pt[len(pt)-1]
+	if hosts[last.Loc] && !last.Out {
+		return true // absorbed at a host
+	}
+	return len(c.DStep(last)) == 0 // dropped by C
+}
+
+// Update is an event-driven consistent update (U, E): the sequence
+// C0 -e0-> C1 -e1-> ... -en-> Cn+1, with len(Configs) == len(Events)+1.
+type Update struct {
+	Configs []netkat.DConfig
+	Events  []nes.Event
+}
+
+// FirstOccurrences computes FO(ntr, U): the indices k0 < ... < kn where
+// each ki is the first occurrence of event ei after k(i-1), some packet
+// trace through ki is in Traces(Ci), and no *pending* event occurs after
+// kn. It reports ok=false if no such sequence exists.
+//
+// `pending` is the set of events that would extend the update: events
+// enabled after U's events but not consumed by U. A packet that merely
+// re-matches the pattern of a consumed event (the bandwidth cap's renamed
+// copies, a second firewall-opening packet) is not an occurrence — an NES
+// event happens at most once — and a pattern match of a not-yet-enabled
+// event (the IDS's H4->H2 traffic in the initial state) triggers nothing.
+// The caller computes pending from the NES's enabling relation.
+func FirstOccurrences(nt *NetTrace, u Update, pending []nes.Event, hosts map[netkat.Location]bool) ([]int, bool) {
+	ks := make([]int, 0, len(u.Events))
+	prev := -1
+	for i, e := range u.Events {
+		ki := -1
+		for j := prev + 1; j < len(nt.Packets); j++ {
+			if e.MatchesD(nt.Packets[j]) {
+				ki = j
+				break
+			}
+		}
+		if ki < 0 {
+			return nil, false
+		}
+		// The event must be triggered by a packet processed in the
+		// immediately preceding configuration Ci.
+		ok := false
+		for _, t := range nt.Trees {
+			hasKi := false
+			for _, k := range t {
+				if k == ki {
+					hasKi = true
+					break
+				}
+			}
+			if hasKi && InTraces(u.Configs[i], nt.PacketTrace(t), hosts) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, false
+		}
+		ks = append(ks, ki)
+		prev = ki
+	}
+	// No pending event may occur after kn.
+	for j := prev + 1; j < len(nt.Packets); j++ {
+		for _, e := range pending {
+			if e.MatchesD(nt.Packets[j]) {
+				return nil, false
+			}
+		}
+	}
+	return ks, true
+}
+
+// Violation describes how a network trace breaks Definition 2.
+type Violation struct {
+	Tree   int
+	Reason string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("trace: packet trace %d: %s", v.Tree, v.Reason)
+}
+
+// CheckUpdate verifies Definition 2: the network trace is correct with
+// respect to the update (U, E) — every packet trace is processed entirely
+// by one configuration, packets wholly before event ei see only
+// configurations up to Ci, and packets wholly after see only Ci+1 onward.
+func CheckUpdate(nt *NetTrace, u Update, pending []nes.Event, hosts map[netkat.Location]bool) error {
+	if len(u.Configs) != len(u.Events)+1 {
+		return fmt.Errorf("trace: malformed update: %d configs for %d events", len(u.Configs), len(u.Events))
+	}
+	ks, ok := FirstOccurrences(nt, u, pending, hosts)
+	if !ok {
+		return fmt.Errorf("trace: FO(ntr, U) does not exist")
+	}
+	hb := HappensBefore(nt)
+	for ti, t := range nt.Trees {
+		pt := nt.PacketTrace(t)
+		inC := make([]bool, len(u.Configs))
+		any := false
+		for c := range u.Configs {
+			inC[c] = InTraces(u.Configs[c], pt, hosts)
+			any = any || inC[c]
+		}
+		if !any {
+			return &Violation{Tree: ti, Reason: "not processed entirely by any single configuration"}
+		}
+		for i, ki := range ks {
+			allBefore := true
+			allAfter := true
+			for _, j := range t {
+				if !hb.Before(j, ki) {
+					allBefore = false
+				}
+				if !hb.Before(ki, j) {
+					allAfter = false
+				}
+			}
+			if allBefore {
+				okPre := false
+				for c := 0; c <= i; c++ {
+					if inC[c] {
+						okPre = true
+						break
+					}
+				}
+				if !okPre {
+					return &Violation{Tree: ti, Reason: fmt.Sprintf("happens wholly before event %d (index %d) but is not processed by any of C0..C%d (update too early)", i, ki, i)}
+				}
+			}
+			if allAfter {
+				okPost := false
+				for c := i + 1; c < len(u.Configs); c++ {
+					if inC[c] {
+						okPost = true
+						break
+					}
+				}
+				if !okPost {
+					return &Violation{Tree: ti, Reason: fmt.Sprintf("happens wholly after event %d (index %d) but is not processed by any of C%d..C%d (update too late)", i, ki, i+1, len(u.Configs)-1)}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckNES verifies Definition 6: the network trace is correct with
+// respect to the NES — some event sequence allowed by the NES (possibly
+// empty) makes the trace correct per Definition 2. For each candidate
+// sequence, the forbidden "pending" events are those enabled at the
+// sequence's final event-set but not consumed by it: their occurrence
+// would have extended the update.
+func CheckNES(nt *NetTrace, n *nes.NES, hosts map[netkat.Location]bool) error {
+	seqs, err := n.AllowedSequences()
+	if err != nil {
+		return err
+	}
+	all := append([][]int{{}}, seqs...)
+	var lastErr error
+	for _, seq := range all {
+		u, final, ok := updateFor(n, seq)
+		if !ok {
+			continue
+		}
+		var pending []nes.Event
+		for _, ev := range n.Events {
+			if !final.Has(ev.ID) && n.Enables(final, ev.ID) && n.Con(final.With(ev.ID)) {
+				pending = append(pending, ev)
+			}
+		}
+		if err := CheckUpdate(nt, u, pending, hosts); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no allowed event sequence matches the trace")
+	}
+	return fmt.Errorf("trace: no allowed sequence of the NES makes the trace correct (last: %v)", lastErr)
+}
+
+// updateFor builds the update g(∅) -e0-> g({e0}) -e1-> ... for an allowed
+// sequence, returning also the sequence's final event-set.
+func updateFor(n *nes.NES, seq []int) (Update, nes.Set, bool) {
+	u := Update{}
+	s := nes.Empty
+	c, ok := n.ConfigAt(s)
+	if !ok {
+		return Update{}, s, false
+	}
+	u.Configs = append(u.Configs, n.Configs[c].Rel)
+	for _, e := range seq {
+		s = s.With(e)
+		c, ok := n.ConfigAt(s)
+		if !ok {
+			return Update{}, s, false
+		}
+		u.Configs = append(u.Configs, n.Configs[c].Rel)
+		u.Events = append(u.Events, n.Events[e])
+	}
+	return u, s, true
+}

@@ -1,0 +1,229 @@
+// Package verify implements static reachability checking for compiled
+// event-driven network programs — the complementary verification
+// direction the paper points to in Section 6 (Lopes et al.'s reachability
+// checking for stateful programs). Queries run over the configuration
+// relation of each ETS state, so properties can be checked in every
+// reachable state of the program and across its transitions:
+//
+//	isolation     — packets from A never reach B
+//	connectivity  — packets from A do reach B
+//	waypointing   — every A-to-B path traverses a given switch
+//
+// together with AG (holds in every reachable state) and per-state
+// quantifiers over the ETS.
+package verify
+
+import (
+	"fmt"
+
+	"eventnet/internal/ets"
+	"eventnet/internal/netkat"
+	"eventnet/internal/nkc"
+)
+
+// maxVisited bounds reachability exploration per query.
+const maxVisited = 100000
+
+// Checker answers reachability queries over an ETS.
+type Checker struct {
+	E *ets.ETS
+}
+
+// New builds a checker.
+func New(e *ets.ETS) *Checker { return &Checker{E: e} }
+
+// config returns the configuration relation of vertex v.
+func (c *Checker) config(v int) netkat.DConfig {
+	return &nkc.CompiledConfig{Tables: c.E.Vertices[v].Tables, Topo: c.E.Topo}
+}
+
+// Trace is a witness path: the directed points a packet visits.
+type Trace []netkat.DPacket
+
+// String renders the witness compactly.
+func (tr Trace) String() string {
+	s := ""
+	for i, d := range tr {
+		if i > 0 {
+			s += " -> "
+		}
+		s += d.Loc.String()
+	}
+	return s
+}
+
+// Reach explores the configuration relation of state v from the named
+// source host with the given packet, returning every visited directed
+// point and, if the destination host is reached, a witness path.
+// avoidSwitch, if nonnegative, removes a switch from the exploration
+// (used for waypoint checking).
+func (c *Checker) Reach(v int, fromHost, toHost string, pkt netkat.Packet, avoidSwitch int) (bool, Trace, error) {
+	from, ok := c.E.Topo.HostByName(fromHost)
+	if !ok {
+		return false, nil, fmt.Errorf("verify: unknown host %q", fromHost)
+	}
+	to, ok := c.E.Topo.HostByName(toHost)
+	if !ok {
+		return false, nil, fmt.Errorf("verify: unknown host %q", toHost)
+	}
+	cfg := c.config(v)
+	start := netkat.DPacket{Pkt: pkt, Loc: from.Loc(), Out: true}
+	goal := to.Loc()
+
+	type qitem struct {
+		d    netkat.DPacket
+		prev int
+	}
+	queue := []qitem{{d: start, prev: -1}}
+	seen := map[string]bool{start.Key(): true}
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi].d
+		if cur.Loc == goal && !cur.Out {
+			// Rebuild the witness.
+			var rev Trace
+			for i := qi; i >= 0; i = queue[i].prev {
+				rev = append(rev, queue[i].d)
+			}
+			tr := make(Trace, len(rev))
+			for i := range rev {
+				tr[i] = rev[len(rev)-1-i]
+			}
+			return true, tr, nil
+		}
+		if cur.Loc.Switch == avoidSwitch {
+			continue
+		}
+		for _, next := range cfg.DStep(cur) {
+			if next.Loc.Switch == from.ID && !next.Out {
+				continue // bounced back to the source host
+			}
+			k := next.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			queue = append(queue, qitem{d: next, prev: qi})
+			if len(queue) > maxVisited {
+				return false, nil, fmt.Errorf("verify: exploration exceeded %d states", maxVisited)
+			}
+		}
+	}
+	return false, nil, nil
+}
+
+// Prop is a named property of one ETS state.
+type Prop struct {
+	Name  string
+	Check func(c *Checker, v int) error
+}
+
+// Isolation asserts packets with the given fields from one host never
+// reach another.
+func Isolation(fromHost, toHost string, pkt netkat.Packet) Prop {
+	return Prop{
+		Name: fmt.Sprintf("isolation(%s -/-> %s, %v)", fromHost, toHost, pkt),
+		Check: func(c *Checker, v int) error {
+			ok, tr, err := c.Reach(v, fromHost, toHost, pkt, -1)
+			if err != nil {
+				return err
+			}
+			if ok {
+				return fmt.Errorf("reachable via %v", tr)
+			}
+			return nil
+		},
+	}
+}
+
+// Connectivity asserts packets with the given fields from one host do
+// reach another.
+func Connectivity(fromHost, toHost string, pkt netkat.Packet) Prop {
+	return Prop{
+		Name: fmt.Sprintf("connectivity(%s -> %s, %v)", fromHost, toHost, pkt),
+		Check: func(c *Checker, v int) error {
+			ok, _, err := c.Reach(v, fromHost, toHost, pkt, -1)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("unreachable")
+			}
+			return nil
+		},
+	}
+}
+
+// Waypoint asserts that whenever the destination is reachable, every path
+// traverses the given switch: removing the switch must break
+// reachability.
+func Waypoint(fromHost, toHost string, pkt netkat.Packet, sw int) Prop {
+	return Prop{
+		Name: fmt.Sprintf("waypoint(%s -> %s via s%d)", fromHost, toHost, sw),
+		Check: func(c *Checker, v int) error {
+			ok, _, err := c.Reach(v, fromHost, toHost, pkt, -1)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil // vacuous: nothing to waypoint
+			}
+			bypass, tr, err := c.Reach(v, fromHost, toHost, pkt, sw)
+			if err != nil {
+				return err
+			}
+			if bypass {
+				return fmt.Errorf("bypass exists: %v", tr)
+			}
+			return nil
+		},
+	}
+}
+
+// StateViolation reports a property failing at a specific ETS state.
+type StateViolation struct {
+	State string
+	Prop  string
+	Err   error
+}
+
+func (v *StateViolation) Error() string {
+	return fmt.Sprintf("verify: state %s: %s: %v", v.State, v.Prop, v.Err)
+}
+
+// AG checks that a property holds in every reachable state of the ETS
+// (the "always globally" modality over the transition system).
+func (c *Checker) AG(p Prop) error {
+	for _, v := range c.E.Vertices {
+		if err := p.Check(c, v.ID); err != nil {
+			return &StateViolation{State: v.State.Key(), Prop: p.Name, Err: err}
+		}
+	}
+	return nil
+}
+
+// AtState checks a property at the state with the given vector key (e.g.
+// "[0]").
+func (c *Checker) AtState(stateKey string, p Prop) error {
+	for _, v := range c.E.Vertices {
+		if v.State.Key() == stateKey {
+			if err := p.Check(c, v.ID); err != nil {
+				return &StateViolation{State: stateKey, Prop: p.Name, Err: err}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("verify: no state %s", stateKey)
+}
+
+// TransitionCheck verifies a relation between the configurations before
+// and after every ETS transition — e.g. "each transition only ever opens
+// paths" for monotone applications.
+func (c *Checker) TransitionCheck(name string, check func(c *Checker, from, to int) error) error {
+	for _, ed := range c.E.Edges {
+		if err := check(c, ed.From, ed.To); err != nil {
+			return fmt.Errorf("verify: transition %s -> %s: %s: %w",
+				c.E.Vertices[ed.From].State, c.E.Vertices[ed.To].State, name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/ets"
+	"eventnet/internal/netkat"
+)
+
+func build(t *testing.T, a apps.App) *Checker {
+	t.Helper()
+	e, err := ets.Build(a.Prog, a.Topo)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	return New(e)
+}
+
+func pkt(dst int) netkat.Packet { return netkat.Packet{apps.FieldDst: dst} }
+
+// TestFirewallReachability: the firewall's security invariant, checked
+// statically per state: in [0] incoming traffic is isolated; in [1] it is
+// connected; outgoing traffic is connected in every state.
+func TestFirewallReachability(t *testing.T) {
+	c := build(t, apps.Firewall())
+	if err := c.AtState("[0]", Isolation("H4", "H1", pkt(apps.H(1)))); err != nil {
+		t.Error(err)
+	}
+	if err := c.AtState("[1]", Connectivity("H4", "H1", pkt(apps.H(1)))); err != nil {
+		t.Error(err)
+	}
+	if err := c.AG(Connectivity("H1", "H4", pkt(apps.H(4)))); err != nil {
+		t.Error(err)
+	}
+	// The isolation property must NOT hold globally (state [1] opens it).
+	if err := c.AG(Isolation("H4", "H1", pkt(apps.H(1)))); err == nil {
+		t.Error("AG isolation held although state [1] opens the path")
+	}
+}
+
+// TestReachWitness: the witness path lists the expected hops.
+func TestReachWitness(t *testing.T) {
+	c := build(t, apps.Firewall())
+	ok, tr, err := c.Reach(0, "H1", "H4", pkt(apps.H(4)), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("H1 -> H4 unreachable in state [0]")
+	}
+	want := "101:0 -> 1:2 -> 1:1 -> 4:1 -> 4:2 -> 104:0"
+	if got := tr.String(); got != want {
+		t.Errorf("witness %q, want %q", got, want)
+	}
+}
+
+// TestAuthenticationStates: H3 reachable from H4 only in state [2].
+func TestAuthenticationStates(t *testing.T) {
+	c := build(t, apps.Authentication())
+	for _, tc := range []struct {
+		state string
+		open  bool
+	}{
+		{"[0]", false}, {"[1]", false}, {"[2]", true},
+	} {
+		p := Connectivity("H4", "H3", pkt(apps.H(3)))
+		err := c.AtState(tc.state, p)
+		if tc.open && err != nil {
+			t.Errorf("state %s: %v", tc.state, err)
+		}
+		if !tc.open && err == nil {
+			t.Errorf("state %s: H4 -> H3 open too early", tc.state)
+		}
+	}
+}
+
+// TestIDSStates: H3 reachable until the scan completes.
+func TestIDSStates(t *testing.T) {
+	c := build(t, apps.IDS())
+	if err := c.AtState("[0]", Connectivity("H4", "H3", pkt(apps.H(3)))); err != nil {
+		t.Error(err)
+	}
+	if err := c.AtState("[1]", Connectivity("H4", "H3", pkt(apps.H(3)))); err != nil {
+		t.Error(err)
+	}
+	if err := c.AtState("[2]", Isolation("H4", "H3", pkt(apps.H(3)))); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWaypoint: in the star topology every H4-to-H1 path must traverse
+// the hub s4.
+func TestWaypoint(t *testing.T) {
+	c := build(t, apps.IDS())
+	if err := c.AG(Waypoint("H4", "H1", pkt(apps.H(1)), 4)); err != nil {
+		t.Error(err)
+	}
+	// A bogus waypoint (s2 is not on the H4->H1 path) must be rejected in
+	// states where the path is open.
+	err := c.AtState("[0]", Waypoint("H4", "H1", pkt(apps.H(1)), 2))
+	if err == nil {
+		t.Error("s2 accepted as waypoint for H4 -> H1")
+	} else if !strings.Contains(err.Error(), "bypass") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestRingPathsDiffer: H1 -> H2 is connected in both ring states, but the
+// witness paths use opposite arcs.
+func TestRingPathsDiffer(t *testing.T) {
+	c := build(t, apps.Ring(3))
+	ok0, tr0, err := c.Reach(0, "H1", "H2", pkt(apps.H(2)), -1)
+	if err != nil || !ok0 {
+		t.Fatalf("state 0: %v %v", ok0, err)
+	}
+	ok1, tr1, err := c.Reach(1, "H1", "H2", pkt(apps.H(2)), -1)
+	if err != nil || !ok1 {
+		t.Fatalf("state 1: %v %v", ok1, err)
+	}
+	if tr0.String() == tr1.String() {
+		t.Errorf("both states use the same arc: %v", tr0)
+	}
+	// Clockwise passes switch 2; counterclockwise passes switch 2d = 6.
+	if !strings.Contains(tr0.String(), "2:") {
+		t.Errorf("clockwise witness: %v", tr0)
+	}
+	if !strings.Contains(tr1.String(), "6:") {
+		t.Errorf("counterclockwise witness: %v", tr1)
+	}
+}
+
+// TestMonotoneTransitions: the firewall and authentication programs only
+// ever open paths along transitions (never close them), while the IDS and
+// bandwidth cap close paths — check via TransitionCheck.
+func TestMonotoneTransitions(t *testing.T) {
+	opensOnly := func(pairs [][2]string, pktOf func(string) netkat.Packet) func(c *Checker, from, to int) error {
+		return func(c *Checker, from, to int) error {
+			for _, pr := range pairs {
+				before, _, err := c.Reach(from, pr[0], pr[1], pktOf(pr[1]), -1)
+				if err != nil {
+					return err
+				}
+				after, _, err := c.Reach(to, pr[0], pr[1], pktOf(pr[1]), -1)
+				if err != nil {
+					return err
+				}
+				if before && !after {
+					return &StateViolation{State: "transition", Prop: "monotone", Err: errClosed{pr[0], pr[1]}}
+				}
+			}
+			return nil
+		}
+	}
+	pktOf := func(h string) netkat.Packet {
+		switch h {
+		case "H1":
+			return pkt(apps.H(1))
+		case "H4":
+			return pkt(apps.H(4))
+		default:
+			return pkt(apps.H(3))
+		}
+	}
+	fw := build(t, apps.Firewall())
+	if err := fw.TransitionCheck("opens-only", opensOnly([][2]string{{"H1", "H4"}, {"H4", "H1"}}, pktOf)); err != nil {
+		t.Errorf("firewall not monotone: %v", err)
+	}
+	ids := build(t, apps.IDS())
+	if err := ids.TransitionCheck("opens-only", opensOnly([][2]string{{"H4", "H3"}}, pktOf)); err == nil {
+		t.Error("IDS classified monotone although it revokes H3 access")
+	}
+}
+
+type errClosed [2]string
+
+func (e errClosed) Error() string { return "path " + e[0] + "->" + e[1] + " closed by transition" }
+
+// TestWalledGardenVerify: the garden invariant per state.
+func TestWalledGardenVerify(t *testing.T) {
+	c := build(t, apps.WalledGarden())
+	if err := c.AtState("[0]", Isolation("H4", "H2", pkt(apps.H(2)))); err != nil {
+		t.Error(err)
+	}
+	if err := c.AtState("[1]", Connectivity("H4", "H2", pkt(apps.H(2)))); err != nil {
+		t.Error(err)
+	}
+	// The portal is reachable in every state.
+	if err := c.AG(Connectivity("H4", "H1", pkt(apps.H(1)))); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkReach(b *testing.B) {
+	a := apps.IDS()
+	e, err := ets.Build(a.Prog, a.Topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := New(e)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, _, err := c.Reach(0, "H4", "H3", pkt(apps.H(3)), -1)
+		if err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
