@@ -11,14 +11,35 @@ import (
 	"eventnet/internal/apps"
 	"eventnet/internal/exp"
 	"eventnet/internal/netkat"
+	"eventnet/internal/nkc"
 	"eventnet/internal/optimize"
 	"eventnet/internal/sim"
 	"eventnet/internal/trace"
 )
 
 // BenchmarkTableCompileApps times the full compilation pipeline for the
-// five applications (the paper's in-text 0.013-0.023 s column).
+// five applications (the paper's in-text 0.013-0.023 s column) on the
+// default (FDD) backend.
 func BenchmarkTableCompileApps(b *testing.B) {
+	for _, a := range apps.All() {
+		a := a
+		b.Run(a.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(a.Prog, a.Topo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableCompileAppsDNF times the same pipeline on the reference
+// DNF/strand backend — the baseline the FDD backend is measured against
+// (CHANGES.md records the comparison).
+func BenchmarkTableCompileAppsDNF(b *testing.B) {
+	old := nkc.DefaultBackend
+	nkc.DefaultBackend = nkc.BackendDNF
+	defer func() { nkc.DefaultBackend = old }()
 	for _, a := range apps.All() {
 		a := a
 		b.Run(a.Name, func(b *testing.B) {

@@ -20,6 +20,7 @@ import (
 	"eventnet/internal/apps"
 	"eventnet/internal/ets"
 	"eventnet/internal/flowtable"
+	"eventnet/internal/nkc"
 	"eventnet/internal/optimize"
 	"eventnet/internal/stateful"
 	"eventnet/internal/syntax"
@@ -28,6 +29,7 @@ import (
 
 func main() {
 	appName := flag.String("app", "", "built-in application: firewall, learning-switch, authentication, bandwidth-cap, ids, ring")
+	backend := flag.String("backend", "fdd", "table-generation backend: fdd (decision diagrams, default) or dnf (strand/DNF reference)")
 	srcPath := flag.String("src", "", "Stateful NetKAT source file")
 	topoName := flag.String("topo", "firewall", "topology for -src: firewall, learning-switch, star, ring")
 	initVec := flag.String("init", "0", "initial state vector for -src, e.g. 0,0")
@@ -37,6 +39,16 @@ func main() {
 	showTables := flag.Bool("tables", false, "print per-configuration flow tables")
 	unroll := flag.Int("unroll", 4, "unrolling bound for programs with state-graph loops")
 	flag.Parse()
+
+	switch *backend {
+	case "fdd":
+		nkc.DefaultBackend = nkc.BackendFDD
+	case "dnf":
+		nkc.DefaultBackend = nkc.BackendDNF
+	default:
+		fmt.Fprintf(os.Stderr, "snkc: unknown backend %q (want fdd or dnf)\n", *backend)
+		os.Exit(1)
+	}
 
 	prog, tp, name, err := loadProgram(*appName, *srcPath, *topoName, *initVec, *ringD, *capN)
 	if err != nil {

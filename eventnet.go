@@ -10,7 +10,9 @@
 //	syntax   — concrete Stateful NetKAT syntax (lexer, parser, printer)
 //	stateful — Stateful NetKAT AST, projection ⟦p⟧k, event extraction
 //	netkat   — static NetKAT: packets, predicates, policies, evaluator
-//	nkc      — NetKAT compiler to prioritized flow tables
+//	nkc      — NetKAT compiler to prioritized flow tables, with two
+//	           backends: forwarding decision diagrams (default) and the
+//	           DNF/strand reference (see docs/ARCHITECTURE.md)
 //	ets      — event-driven transition systems and their checks
 //	nes      — network event structures (con, ⊢, g, locality)
 //	trace    — the Definition 2/6 consistency oracle
@@ -49,6 +51,10 @@ type Topology = topo.Topology
 // App bundles a program with its topology.
 type App = apps.App
 
+// Machine is the Figure 7 abstract machine executing a compiled system
+// (see System.NewMachine).
+type Machine = runtime.Machine
+
 // System is a compiled event-driven network program: the ETS extracted
 // from the Stateful NetKAT program and the NES that implements it.
 type System struct {
@@ -60,6 +66,11 @@ type System struct {
 // projected (Figure 5) and compiled to flow tables, event edges are
 // extracted (Figure 6), the ETS conditions of Section 3.1 are checked,
 // and the NES is constructed and verified locally determined.
+//
+// Per-state configurations compile independently on a bounded worker
+// pool (one worker per CPU) through the selected internal/nkc backend —
+// forwarding decision diagrams by default, with a shared hash-consing
+// context per worker (see docs/ARCHITECTURE.md).
 func Compile(p Program, t *Topology) (*System, error) {
 	e, err := ets.Build(p, t)
 	if err != nil {

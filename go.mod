@@ -1,0 +1,3 @@
+module eventnet
+
+go 1.24

@@ -8,6 +8,8 @@ package ets
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"eventnet/internal/flowtable"
 	"eventnet/internal/nes"
@@ -53,13 +55,12 @@ func Build(p stateful.Program, t *topo.Topology) (*ETS, error) {
 	}
 	e := &ETS{Init: 0, Topo: t}
 	vid := map[string]int{}
+	verts, err := compileVertices(p, t, states)
+	if err != nil {
+		return nil, err
+	}
+	e.Vertices = verts
 	for i, k := range states {
-		pol := stateful.Project(p.Cmd, k)
-		tables, err := nkc.Compile(pol, t)
-		if err != nil {
-			return nil, fmt.Errorf("ets: compiling configuration for state %v: %w", k, err)
-		}
-		e.Vertices = append(e.Vertices, Vertex{ID: i, State: k, Policy: pol, Tables: tables})
 		vid[k.Key()] = i
 	}
 
@@ -84,6 +85,60 @@ func Build(p stateful.Program, t *topo.Topology) (*ETS, error) {
 		return nil, err
 	}
 	return e, nil
+}
+
+// compileVertices projects and compiles every reachable state's
+// configuration on a bounded worker pool (at most one worker per CPU).
+// Per-state compiles are independent — Project is pure and each
+// nkc.Compile builds its own FDD context — so the ETS build scales with
+// cores; vertex order (and hence every downstream ID) is preserved.
+func compileVertices(p stateful.Program, t *topo.Topology, states []stateful.State) ([]Vertex, error) {
+	verts := make([]Vertex, len(states))
+	errs := make([]error, len(states))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(states) {
+		workers = len(states)
+	}
+	if workers <= 1 {
+		comp := nkc.NewCompiler()
+		for i, k := range states {
+			compileVertex(comp, p, t, k, i, verts, errs)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				comp := nkc.NewCompiler()
+				for i := range idx {
+					compileVertex(comp, p, t, states[i], i, verts, errs)
+				}
+			}()
+		}
+		for i := range states {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return verts, nil
+}
+
+func compileVertex(comp *nkc.Compiler, p stateful.Program, t *topo.Topology, k stateful.State, i int, verts []Vertex, errs []error) {
+	pol := stateful.Project(p.Cmd, k)
+	tables, err := comp.Compile(pol, t)
+	if err != nil {
+		errs[i] = fmt.Errorf("ets: compiling configuration for state %v: %w", k, err)
+		return
+	}
+	verts[i] = Vertex{ID: i, State: k, Policy: pol, Tables: tables}
 }
 
 func sameCounts(a, b map[string]int) bool {

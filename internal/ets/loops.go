@@ -178,6 +178,7 @@ func BuildUnrolled(p stateful.Program, t *topo.Topology, maxRounds int) (*ETS, e
 	}
 	vid := map[key]int{}
 	compiled := map[string]Vertex{} // per-state compile cache (shared tables)
+	comp := nkc.NewCompiler()       // shared FDD context across per-state compiles
 	var raw []rawEdge
 
 	addVertex := func(k stateful.State, round int) (int, error) {
@@ -188,7 +189,7 @@ func BuildUnrolled(p stateful.Program, t *topo.Topology, maxRounds int) (*ETS, e
 		base, ok := compiled[k.Key()]
 		if !ok {
 			pol := stateful.Project(p.Cmd, k)
-			tables, err := nkc.Compile(pol, t)
+			tables, err := comp.Compile(pol, t)
 			if err != nil {
 				return 0, fmt.Errorf("ets: compiling configuration for state %v: %w", k, err)
 			}

@@ -8,8 +8,10 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"eventnet/internal/apps"
@@ -20,6 +22,39 @@ import (
 	"eventnet/internal/optimize"
 	"eventnet/internal/sim"
 )
+
+// parallelFor runs f(0..n-1) on a bounded worker pool (at most one worker
+// per CPU). The experiment sweeps are embarrassingly parallel — each
+// point builds its own simulator seeded deterministically — so results
+// are identical to the sequential run.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
 
 // BuildNES compiles an application to its NES.
 func BuildNES(a apps.App) (*nes.NES, error) {
@@ -64,17 +99,19 @@ func Fig10(maxDelayMs, stepMs, runs int) *Table {
 	if err != nil {
 		panic(err)
 	}
-	for d := 0; d <= maxDelayMs; d += stepMs {
+	points := maxDelayMs/stepMs + 1
+	rows := make([][]string, points)
+	parallelFor(points, func(i int) {
+		d := i * stepMs
 		uncoord := 0
 		correct := 0
 		for r := 0; r < runs; r++ {
 			uncoord += firewallDrops(a, n, sim.PlaneKindUncoord, float64(d)/1000, int64(r+1))
 			correct += firewallDrops(a, n, sim.PlaneKindTagged, float64(d)/1000, int64(r+1))
 		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(d), fmt.Sprint(uncoord), fmt.Sprint(correct),
-		})
-	}
+		rows[i] = []string{fmt.Sprint(d), fmt.Sprint(uncoord), fmt.Sprint(correct)}
+	})
+	t.Rows = append(t.Rows, rows...)
 	return t
 }
 
@@ -264,12 +301,21 @@ func Fig16a(diameters []int) *Table {
 		Title:   "Figure 16a: Ring bandwidth vs diameter",
 		Columns: []string{"diameter", "ref_MBps", "tagged_MBps", "overhead_pct", "udp_loss_pct"},
 	}
-	for _, d := range diameters {
-		a := apps.Ring(d)
-		n, err := BuildNES(a)
+	rows := make([][]string, len(diameters))
+	// Build the NESs on the caller's goroutine so a compile failure
+	// panics where callers can recover; only the sims run on the pool.
+	nesses := make([]*nes.NES, len(diameters))
+	for i, d := range diameters {
+		n, err := BuildNES(apps.Ring(d))
 		if err != nil {
 			panic(err)
 		}
+		nesses[i] = n
+	}
+	parallelFor(len(diameters), func(i int) {
+		d := diameters[i]
+		a := apps.Ring(d)
+		n := nesses[i]
 		run := func(tagBytes int, extraProc float64) (float64, float64) {
 			pl := sim.NewTaggedPlane(n)
 			pl.TagBytes = tagBytes
@@ -284,14 +330,15 @@ func Fig16a(diameters []int) *Table {
 		}
 		refGp, _ := run(0, 0)
 		tagGp, loss := run(12, 0.05)
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			fmt.Sprint(d),
 			fmt.Sprintf("%.2f", refGp/1e6),
 			fmt.Sprintf("%.2f", tagGp/1e6),
 			fmt.Sprintf("%.1f", 100*(refGp-tagGp)/refGp),
 			fmt.Sprintf("%.1f", loss),
-		})
-	}
+		}
+	})
+	t.Rows = append(t.Rows, rows...)
 	return t
 }
 
@@ -302,14 +349,21 @@ func Fig16b(diameters []int) *Table {
 		Title:   "Figure 16b: Ring event discovery time vs diameter",
 		Columns: []string{"diameter", "max_s", "avg_s", "max_ctrl_s", "avg_ctrl_s"},
 	}
-	for _, d := range diameters {
+	rows := make([][]string, len(diameters))
+	nesses := make([]*nes.NES, len(diameters))
+	for i, d := range diameters {
+		n, err := BuildNES(apps.Ring(d))
+		if err != nil {
+			panic(err)
+		}
+		nesses[i] = n
+	}
+	parallelFor(len(diameters), func(i int) {
+		d := diameters[i]
 		row := []string{fmt.Sprint(d)}
 		for _, assist := range []bool{false, true} {
 			a := apps.Ring(d)
-			n, err := BuildNES(a)
-			if err != nil {
-				panic(err)
-			}
+			n := nesses[i]
 			p := sim.DefaultParams()
 			p.CtrlAssist = assist
 			pl := sim.NewTaggedPlane(n)
@@ -335,8 +389,9 @@ func Fig16b(diameters []int) *Table {
 			}
 			row = append(row, fmt.Sprintf("%.4f", max), fmt.Sprintf("%.4f", avg))
 		}
-		t.Rows = append(t.Rows, row)
-	}
+		rows[i] = row
+	})
+	t.Rows = append(t.Rows, rows...)
 	return t
 }
 

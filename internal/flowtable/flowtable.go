@@ -72,10 +72,11 @@ func (g VersionGuard) String() string {
 
 // Match is the match part of a rule.
 type Match struct {
-	InPort   int              // ingress port, or Wildcard
-	Fields   map[string]int   // required field values
-	Excludes map[string][]int // excluded field values (f != v)
-	Guard    VersionGuard
+	InPort       int              // ingress port, or Wildcard
+	ExcludePorts []int            // excluded ingress ports (only with a Wildcard InPort)
+	Fields       map[string]int   // required field values
+	Excludes     map[string][]int // excluded field values (f != v)
+	Guard        VersionGuard
 }
 
 // Matches reports whether the match admits a packet with the given fields,
@@ -87,6 +88,13 @@ func (m Match) Matches(pkt netkat.Packet, inPort int, tag uint32) bool {
 	}
 	if m.InPort != Wildcard && m.InPort != inPort {
 		return false
+	}
+	if m.InPort == Wildcard {
+		for _, v := range m.ExcludePorts {
+			if v == inPort {
+				return false
+			}
+		}
 	}
 	for f, v := range m.Fields {
 		w, ok := pkt[f]
@@ -116,6 +124,7 @@ func (m Match) Specificity() int {
 	if m.InPort != Wildcard {
 		s += 10
 	}
+	s += len(m.ExcludePorts)
 	s += 10 * len(m.Fields)
 	for _, vs := range m.Excludes {
 		s += len(vs)
@@ -132,6 +141,13 @@ func (m Match) Key() string {
 	sort.Strings(fs)
 	var b strings.Builder
 	fmt.Fprintf(&b, "in=%d;", m.InPort)
+	if len(m.ExcludePorts) > 0 {
+		ps := append([]int{}, m.ExcludePorts...)
+		sort.Ints(ps)
+		for _, v := range ps {
+			fmt.Fprintf(&b, "in!=%d;", v)
+		}
+	}
 	for _, f := range fs {
 		fmt.Fprintf(&b, "%s=%d;", f, m.Fields[f])
 	}
@@ -153,6 +169,7 @@ func (m Match) Key() string {
 // Clone returns a deep copy of the match.
 func (m Match) Clone() Match {
 	n := Match{InPort: m.InPort, Guard: m.Guard, Fields: map[string]int{}, Excludes: map[string][]int{}}
+	n.ExcludePorts = append(n.ExcludePorts, m.ExcludePorts...)
 	for f, v := range m.Fields {
 		n.Fields[f] = v
 	}
@@ -168,10 +185,38 @@ func (m Match) Intersect(o Match) (Match, bool) {
 	out := m.Clone()
 	if o.InPort != Wildcard {
 		if out.InPort == Wildcard {
+			for _, v := range out.ExcludePorts {
+				if v == o.InPort {
+					return Match{}, false
+				}
+			}
 			out.InPort = o.InPort
 		} else if out.InPort != o.InPort {
 			return Match{}, false
 		}
+	} else {
+		for _, v := range o.ExcludePorts {
+			if out.InPort == v {
+				return Match{}, false
+			}
+			if out.InPort == Wildcard {
+				keep := true
+				for _, w := range out.ExcludePorts {
+					if w == v {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					out.ExcludePorts = append(out.ExcludePorts, v)
+				}
+			}
+		}
+	}
+	if out.InPort != Wildcard {
+		out.ExcludePorts = nil
+	} else {
+		sort.Ints(out.ExcludePorts)
 	}
 	for f, v := range o.Fields {
 		if w, ok := out.Fields[f]; ok {
@@ -220,6 +265,21 @@ func (m Match) Intersect(o Match) (Match, bool) {
 func (m Match) Subsumes(o Match) bool {
 	if m.InPort != Wildcard && m.InPort != o.InPort {
 		return false
+	}
+	for _, v := range m.ExcludePorts {
+		if o.InPort != Wildcard && o.InPort != v {
+			continue // o pins the port to a non-v value; exclusion holds
+		}
+		found := false
+		for _, w := range o.ExcludePorts {
+			if w == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
 	}
 	for f, v := range m.Fields {
 		if w, ok := o.Fields[f]; !ok || w != v {
@@ -333,6 +393,13 @@ type Table struct {
 // Add appends a rule and restores priority order.
 func (t *Table) Add(r Rule) {
 	t.Rules = append(t.Rules, r)
+	sort.SliceStable(t.Rules, func(i, j int) bool { return t.Rules[i].Priority > t.Rules[j].Priority })
+}
+
+// AddAll appends rules and restores priority order with a single sort;
+// use it when installing a whole compiled table.
+func (t *Table) AddAll(rs []Rule) {
+	t.Rules = append(t.Rules, rs...)
 	sort.SliceStable(t.Rules, func(i, j int) bool { return t.Rules[i].Priority > t.Rules[j].Priority })
 }
 

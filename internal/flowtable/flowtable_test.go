@@ -55,6 +55,40 @@ func TestMatchMatches(t *testing.T) {
 	}
 }
 
+// TestMatchExcludePorts: wildcard-ingress matches can exclude specific
+// ports (emitted by the FDD backend's lo branches on "pt").
+func TestMatchExcludePorts(t *testing.T) {
+	m := Match{InPort: Wildcard, ExcludePorts: []int{2, 3}, Fields: map[string]int{}, Excludes: map[string][]int{}}
+	pkt := netkat.Packet{"dst": 104}
+	if !m.Matches(pkt, 1, 0) || !m.Matches(pkt, 4, 0) {
+		t.Error("allowed port rejected")
+	}
+	if m.Matches(pkt, 2, 0) || m.Matches(pkt, 3, 0) {
+		t.Error("excluded port matched")
+	}
+	exact := Match{InPort: 2, Fields: map[string]int{}, Excludes: map[string][]int{}}
+	if _, ok := m.Intersect(exact); ok {
+		t.Error("intersection with excluded exact port accepted")
+	}
+	other := Match{InPort: 4, Fields: map[string]int{}, Excludes: map[string][]int{}}
+	inter, ok := m.Intersect(other)
+	if !ok || inter.InPort != 4 || len(inter.ExcludePorts) != 0 {
+		t.Errorf("intersection with allowed exact port: %v %v", inter.Key(), ok)
+	}
+	if !m.Subsumes(other) {
+		t.Error("port exclusion must subsume a pinned non-excluded port")
+	}
+	if m.Subsumes(exact) {
+		t.Error("port exclusion must not subsume its excluded port")
+	}
+	if m.Key() == (Match{InPort: Wildcard, Fields: map[string]int{}, Excludes: map[string][]int{}}).Key() {
+		t.Error("ExcludePorts missing from Key")
+	}
+	if m.Clone().Key() != m.Key() {
+		t.Error("Clone dropped ExcludePorts")
+	}
+}
+
 func TestMatchIntersectSubsumes(t *testing.T) {
 	broad := Match{InPort: 2, Fields: map[string]int{}, Excludes: map[string][]int{}}
 	narrow := Match{InPort: 2, Fields: map[string]int{"dst": 7}, Excludes: map[string][]int{}}
@@ -86,6 +120,8 @@ func TestIntersectSemantics(t *testing.T) {
 		m := Match{InPort: Wildcard, Fields: map[string]int{}, Excludes: map[string][]int{}}
 		if r.Intn(2) == 0 {
 			m.InPort = 1 + r.Intn(2)
+		} else if r.Intn(2) == 0 {
+			m.ExcludePorts = []int{1 + r.Intn(2)}
 		}
 		for _, f := range []string{"a", "b"} {
 			switch r.Intn(3) {

@@ -3,6 +3,7 @@ package netkat
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -174,17 +175,25 @@ func (c *Conj) ToPred() Pred {
 }
 
 // Key returns a canonical string; equal conjunctions have equal keys.
+// It is on the hot path of event extraction and compilation, so it is
+// written with appends rather than fmt.
 func (c *Conj) Key() string {
-	var b strings.Builder
+	buf := make([]byte, 0, 16*(len(c.eq)+len(c.neq)))
 	for _, f := range c.EqFields() {
-		fmt.Fprintf(&b, "%s=%d;", f, c.eq[f])
+		buf = append(buf, f...)
+		buf = append(buf, '=')
+		buf = strconv.AppendInt(buf, int64(c.eq[f]), 10)
+		buf = append(buf, ';')
 	}
 	for _, f := range c.NeqFields() {
 		for _, v := range c.Neq(f) {
-			fmt.Fprintf(&b, "%s!=%d;", f, v)
+			buf = append(buf, f...)
+			buf = append(buf, '!', '=')
+			buf = strconv.AppendInt(buf, int64(v), 10)
+			buf = append(buf, ';')
 		}
 	}
-	return b.String()
+	return string(buf)
 }
 
 // String renders the conjunction in concrete syntax; the empty conjunction

@@ -12,6 +12,7 @@ package netkat
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -22,7 +23,9 @@ type Location struct {
 }
 
 // String renders the location in the paper's n:m notation.
-func (l Location) String() string { return fmt.Sprintf("%d:%d", l.Switch, l.Port) }
+func (l Location) String() string {
+	return strconv.Itoa(l.Switch) + ":" + strconv.Itoa(l.Port)
+}
 
 // Less gives a total order on locations, used for deterministic iteration.
 func (l Location) Less(o Location) bool {
@@ -77,12 +80,16 @@ func (p Packet) Fields() []string {
 }
 
 // Key returns a canonical string usable as a map key for packet sets.
+// Hot path (evaluator and simulator packet sets): appends, no fmt.
 func (p Packet) Key() string {
-	var b strings.Builder
+	buf := make([]byte, 0, 16*len(p))
 	for _, f := range p.Fields() {
-		fmt.Fprintf(&b, "%s=%d;", f, p[f])
+		buf = append(buf, f...)
+		buf = append(buf, '=')
+		buf = strconv.AppendInt(buf, int64(p[f]), 10)
+		buf = append(buf, ';')
 	}
-	return b.String()
+	return string(buf)
 }
 
 // String renders the packet as {f1=v1, f2=v2, ...}.

@@ -175,6 +175,22 @@ func Links(p Policy) []Link {
 	return out
 }
 
+// HasLinks reports whether any Link node occurs in the policy.
+func HasLinks(p Policy) bool {
+	switch q := p.(type) {
+	case Union:
+		return HasLinks(q.L) || HasLinks(q.R)
+	case Seq:
+		return HasLinks(q.L) || HasLinks(q.R)
+	case Star:
+		return HasLinks(q.P)
+	case Link:
+		return true
+	default:
+		return false
+	}
+}
+
 // FieldsOf returns every header field name mentioned by the policy
 // (excluding the pseudo-fields sw and pt), sorted.
 func FieldsOf(p Policy) []string {

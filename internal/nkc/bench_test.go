@@ -9,7 +9,7 @@ import (
 )
 
 // BenchmarkCompileFirewallConfig measures one static-configuration
-// compile (policy -> per-switch tables).
+// compile (policy -> per-switch tables) on the default (FDD) backend.
 func BenchmarkCompileFirewallConfig(b *testing.B) {
 	a := apps.Firewall()
 	pol := stateful.Project(a.Prog.Cmd, stateful.State{1})
@@ -29,6 +29,34 @@ func BenchmarkCompileRingConfig(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Compile(pol, a.Topo); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileBackends compares the FDD and DNF backends on the
+// per-state configurations of each application, compiled through a
+// shared Compiler as ets.Build does.
+func BenchmarkCompileBackends(b *testing.B) {
+	for _, backend := range []Backend{BackendFDD, BackendDNF} {
+		backend := backend
+		for _, a := range apps.All() {
+			a := a
+			b.Run(backend.String()+"/"+a.Name, func(b *testing.B) {
+				states, _, err := a.Prog.ReachableStates()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					comp := NewCompilerWith(backend)
+					for _, k := range states {
+						pol := stateful.Project(a.Prog.Cmd, k)
+						if _, err := comp.Compile(pol, a.Topo); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
 		}
 	}
 }

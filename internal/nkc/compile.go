@@ -21,10 +21,89 @@ type hopRule struct {
 // instances simply contribute no rules.
 var errInfeasible = fmt.Errorf("nkc: infeasible strand instance")
 
+// Backend selects the table-generation backend.
+type Backend int
+
+const (
+	// BackendFDD compiles through hash-consed forwarding decision
+	// diagrams (fdd.go, fdd_table.go) — the default.
+	BackendFDD Backend = iota
+	// BackendDNF compiles through DNF/path normal form and strand
+	// distribution — the original pipeline, kept as the reference
+	// oracle for equivalence testing.
+	BackendDNF
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendFDD:
+		return "fdd"
+	case BackendDNF:
+		return "dnf"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// DefaultBackend is the backend used by Compile. Tools (cmd/snkc) may
+// override it; tests needing a specific backend call CompileFDD or
+// CompileDNF directly.
+var DefaultBackend = BackendFDD
+
 // Compile translates a (state-free) policy into per-switch flow tables
-// over the given topology. The tables realize exactly the relation denoted
-// by the policy, as checked by property tests against netkat.Eval.
+// over the given topology using the default backend. The tables realize
+// exactly the relation denoted by the policy, as checked by property
+// tests against netkat.Eval.
 func Compile(p netkat.Policy, t *topo.Topology) (flowtable.Tables, error) {
+	return CompileWith(DefaultBackend, p, t)
+}
+
+// CompileWith compiles with an explicit backend.
+func CompileWith(b Backend, p netkat.Policy, t *topo.Topology) (flowtable.Tables, error) {
+	if b == BackendDNF {
+		return CompileDNF(p, t)
+	}
+	return CompileFDD(p, t)
+}
+
+// Compiler carries reusable backend state across Compile calls. For the
+// FDD backend the hash-consing context (and with it every node and
+// combinator memo) is shared, so compiling the per-state configurations
+// of one program — which are largely identical policies — costs little
+// more than compiling one of them. A Compiler is not safe for concurrent
+// use; parallel builds give each worker its own.
+type Compiler struct {
+	backend Backend
+	ctx     *FDDCtx
+}
+
+// NewCompiler returns a Compiler for the default backend.
+func NewCompiler() *Compiler { return NewCompilerWith(DefaultBackend) }
+
+// NewCompilerWith returns a Compiler for an explicit backend.
+func NewCompilerWith(b Backend) *Compiler {
+	c := &Compiler{backend: b}
+	if b == BackendFDD {
+		c.ctx = NewFDDCtx()
+	}
+	return c
+}
+
+// Compile translates a policy into per-switch flow tables.
+func (c *Compiler) Compile(p netkat.Policy, t *topo.Topology) (flowtable.Tables, error) {
+	if c.backend == BackendDNF {
+		return CompileDNF(p, t)
+	}
+	return compileFDDCtx(c.ctx, p, t)
+}
+
+// CompileDNF is the reference DNF/strand backend: predicates are
+// normalized to DNF, link-free segments to path normal form, union is
+// distributed over sequence into strands, and overlapping matches are
+// resolved by a fixpoint. Both normal forms are exponential in the worst
+// case; prefer the FDD backend except as a cross-check.
+func CompileDNF(p netkat.Policy, t *topo.Topology) (flowtable.Tables, error) {
 	if err := netkat.Validate(p); err != nil {
 		return nil, err
 	}
@@ -149,9 +228,9 @@ func execChoice(paths []Path, links []netkat.Link, allSwitches []int) ([]hopRule
 					}
 				case netkat.FieldPt:
 					if arrivalPt == -1 {
-						return nil, fmt.Errorf("nkc: negated port test at unknown ingress is not supported")
-					}
-					if arrivalPt == v {
+						// Unknown ingress: match any port except v.
+						match.ExcludePorts = appendPortNeq(match.ExcludePorts, v)
+					} else if arrivalPt == v {
 						return nil, errInfeasible
 					}
 				default:
@@ -196,6 +275,12 @@ func execChoice(paths []Path, links []netkat.Link, allSwitches []int) ([]hopRule
 			if effectivePt == -1 {
 				// No port information: the packet must already be at the
 				// link's source port, so match on it as the ingress port.
+				for _, x := range match.ExcludePorts {
+					if x == l.Src.Port {
+						return nil, errInfeasible
+					}
+				}
+				match.ExcludePorts = nil
 				arrivalPt = l.Src.Port
 				match.InPort = l.Src.Port
 				effectivePt = l.Src.Port
@@ -235,6 +320,16 @@ func execChoice(paths []Path, links []netkat.Link, allSwitches []int) ([]hopRule
 		return out, nil
 	}
 	return out, nil
+}
+
+// appendPortNeq adds an excluded ingress port, deduplicating.
+func appendPortNeq(xs []int, v int) []int {
+	for _, x := range xs {
+		if x == v {
+			return xs
+		}
+	}
+	return append(xs, v)
 }
 
 // ruleAccum accumulates the action groups attached to one match.
@@ -290,12 +385,12 @@ func assembleTables(hops []hopRule) (flowtable.Tables, error) {
 		if err := resolveOverlaps(rules); err != nil {
 			return nil, fmt.Errorf("switch %d: %w", sw, err)
 		}
-		tbl := tables.Get(sw)
 		keys := make([]string, 0, len(rules))
 		for k := range rules {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
+		installed := make([]flowtable.Rule, 0, len(keys))
 		for _, k := range keys {
 			acc := rules[k]
 			gks := make([]string, 0, len(acc.groups))
@@ -307,8 +402,9 @@ func assembleTables(hops []hopRule) (flowtable.Tables, error) {
 			for _, gk := range gks {
 				groups = append(groups, acc.groups[gk])
 			}
-			tbl.Add(flowtable.Rule{Priority: acc.match.Specificity(), Match: acc.match, Groups: groups})
+			installed = append(installed, flowtable.Rule{Priority: acc.match.Specificity(), Match: acc.match, Groups: groups})
 		}
+		tables.Get(sw).AddAll(installed)
 	}
 	return tables, nil
 }

@@ -2,7 +2,18 @@
 // NetKAT policies of this repository into per-switch prioritized flow
 // tables. It substitutes for the Frenetic compiler used by the paper.
 //
-// The pipeline is:
+// The package provides two backends behind the Compile/CompileWith
+// selector (see docs/ARCHITECTURE.md for the full comparison and the
+// equivalence-testing strategy):
+//
+// The default FDD backend (fdd.go, fdd_table.go) normalizes link-free
+// policies into hash-consed, memoized forwarding decision diagrams;
+// strands are split only where links force it, and per-switch tables are
+// extracted from one diagram per switch, whose root-leaf paths partition
+// the packet space — so multicast merging and overlap resolution are
+// structural rather than iterative.
+//
+// The reference DNF backend (CompileDNF) is the original pipeline:
 //
 //  1. predicates -> disjunctive normal form over equality/inequality
 //     literals (dnf.go);
@@ -13,8 +24,9 @@
 //  4. strands -> per-switch hop rules by symbolic execution, followed by
 //     multicast merging and overlap resolution (compile.go).
 //
-// Correctness is established by property tests comparing compiled tables
-// against the reference evaluator in internal/netkat.
+// Correctness is established by property tests comparing both backends
+// against each other and against the reference evaluator in
+// internal/netkat (fdd_test.go, nkc_test.go, equiv_test.go).
 package nkc
 
 import "eventnet/internal/netkat"

@@ -1,0 +1,427 @@
+package nkc
+
+// FDD-backend compilation: link-strand extraction that distributes union
+// over sequence only where links force it, per-segment FDD translation,
+// and per-switch table generation by FDD union + direct extraction.
+//
+// The per-switch diagrams make the DNF backend's two hot spots
+// unnecessary: multicast merging happens by unioning leaf action sets,
+// and overlap resolution is structural — the root-leaf paths of a
+// diagram partition the packet space, so the extracted rules are
+// mutually disjoint and any priority assignment is correct.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"eventnet/internal/flowtable"
+	"eventnet/internal/netkat"
+	"eventnet/internal/topo"
+)
+
+// linkStrand is one end-to-end alternative of a policy for the FDD
+// backend: alternating link-free policies (kept whole, not normalized)
+// and links, with len(Segs) == len(Links)+1.
+type linkStrand struct {
+	Segs  []netkat.Policy
+	Links []netkat.Link
+}
+
+// linkNode kinds for the annotated alternation tree.
+const (
+	lnAtom = iota // maximal link-free subpolicy
+	lnLink
+	lnUnion
+	lnSeq
+)
+
+// linkNode is the policy re-shaped around its links: link-free subtrees
+// collapse to atoms, so only union/sequence structure that actually
+// contains links remains.
+type linkNode struct {
+	kind int
+	pol  netkat.Policy // lnAtom
+	link netkat.Link   // lnLink
+	l, r *linkNode
+}
+
+// annotateLinks builds the linkNode tree in one linear pass, reporting
+// whether p is link-free.
+func annotateLinks(p netkat.Policy) (*linkNode, bool, error) {
+	switch q := p.(type) {
+	case netkat.Filter, netkat.Assign:
+		return &linkNode{kind: lnAtom, pol: p}, true, nil
+	case netkat.Link:
+		return &linkNode{kind: lnLink, link: q}, false, nil
+	case netkat.Star:
+		_, pure, err := annotateLinks(q.P)
+		if err != nil {
+			return nil, false, err
+		}
+		if !pure {
+			return nil, false, fmt.Errorf("nkc: star over a policy containing links is outside the supported fragment")
+		}
+		return &linkNode{kind: lnAtom, pol: p}, true, nil
+	case netkat.Union:
+		l, lp, err := annotateLinks(q.L)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rp, err := annotateLinks(q.R)
+		if err != nil {
+			return nil, false, err
+		}
+		if lp && rp {
+			return &linkNode{kind: lnAtom, pol: p}, true, nil
+		}
+		return &linkNode{kind: lnUnion, l: l, r: r}, false, nil
+	case netkat.Seq:
+		l, lp, err := annotateLinks(q.L)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rp, err := annotateLinks(q.R)
+		if err != nil {
+			return nil, false, err
+		}
+		if lp && rp {
+			return &linkNode{kind: lnAtom, pol: p}, true, nil
+		}
+		return &linkNode{kind: lnSeq, l: l, r: r}, false, nil
+	default:
+		return nil, false, fmt.Errorf("nkc: unknown policy node %T", p)
+	}
+}
+
+// extractLinkStrands rewrites a policy as a sum of link strands. Unlike
+// ExtractStrands it splits unions and sequences only when they contain
+// links, so purely link-free alternation stays inside one segment and is
+// normalized by the (memoized) FDD translation instead of by syntactic
+// distribution. Alternatives are emitted off a shared element stack, so
+// no intermediate sequence products are materialized.
+func extractLinkStrands(p netkat.Policy) ([]linkStrand, error) {
+	root, _, err := annotateLinks(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []linkStrand
+	var cur []element
+	var rec func(n *linkNode, cont func() error) error
+	rec = func(n *linkNode, cont func() error) error {
+		switch n.kind {
+		case lnAtom:
+			cur = append(cur, element{pol: n.pol})
+		case lnLink:
+			cur = append(cur, element{isLink: true, link: n.link})
+		case lnUnion:
+			if err := rec(n.l, cont); err != nil {
+				return err
+			}
+			return rec(n.r, cont)
+		default: // lnSeq
+			return rec(n.l, func() error { return rec(n.r, cont) })
+		}
+		err := cont()
+		cur = cur[:len(cur)-1]
+		return err
+	}
+	flush := func() error {
+		if len(out) >= maxStrands {
+			return fmt.Errorf("nkc: policy expands to more than %d strands", maxStrands)
+		}
+		out = append(out, assembleLinkStrand(cur))
+		return nil
+	}
+	if err := rec(root, flush); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// assembleLinkStrand coalesces consecutive link-free elements with Seq and
+// inserts identity segments around links.
+func assembleLinkStrand(es []element) linkStrand {
+	var s linkStrand
+	var cur netkat.Policy
+	flush := func() {
+		if cur == nil {
+			s.Segs = append(s.Segs, netkat.ID())
+		} else {
+			s.Segs = append(s.Segs, cur)
+		}
+		cur = nil
+	}
+	for _, e := range es {
+		if e.isLink {
+			flush()
+			s.Links = append(s.Links, e.link)
+		} else if cur == nil {
+			cur = e.pol
+		} else {
+			cur = netkat.Seq{L: cur, R: e.pol}
+		}
+	}
+	flush()
+	return s
+}
+
+// CompileFDD translates a (state-free) policy into per-switch flow tables
+// using the forwarding-decision-diagram backend. The tables are
+// semantically equivalent to those of CompileDNF (property-tested against
+// netkat.Eval), but matches extracted from one switch diagram are
+// mutually disjoint, so no overlap-resolution fixpoint is needed.
+//
+// Batch callers compiling many related policies (e.g. the per-state
+// configurations of one program) should use a Compiler, which shares the
+// hash-consing context — and therefore the combinator memos — across
+// calls.
+func CompileFDD(p netkat.Policy, t *topo.Topology) (flowtable.Tables, error) {
+	return compileFDDCtx(NewFDDCtx(), p, t)
+}
+
+func compileFDDCtx(ctx *FDDCtx, p netkat.Policy, t *topo.Topology) (flowtable.Tables, error) {
+	if err := netkat.Validate(p); err != nil {
+		return nil, err
+	}
+	strands, err := extractLinkStrands(p)
+	if err != nil {
+		return nil, err
+	}
+	var hops []cachedHop
+	for _, s := range strands {
+		fdds := make([]*FDD, len(s.Segs))
+		for i, seg := range s.Segs {
+			d, err := ctx.ToFDD(seg)
+			if err != nil {
+				return nil, err
+			}
+			fdds[i] = d
+		}
+		// Symbolic execution is a pure function of the segment diagrams,
+		// the link skeleton, and the switch set; memoize it so compiles
+		// sharing this context (e.g. the per-state configurations of one
+		// program) pay for each distinct strand once.
+		key := strandCacheKey(fdds, s.Links, t.Switches)
+		hs, ok := ctx.hopCache[key]
+		if !ok {
+			segs := make([]PathSet, len(fdds))
+			for i, d := range fdds {
+				ps, err := d.PathSet()
+				if err != nil {
+					return nil, err
+				}
+				segs[i] = ps
+			}
+			raw, err := compileStrand(Strand{Segments: segs, Links: s.Links}, t.Switches)
+			if err != nil {
+				return nil, err
+			}
+			hs = make([]cachedHop, len(raw))
+			for i, h := range raw {
+				hs[i] = cachedHop{sw: h.sw, d: ruleFDD(ctx, h.match, h.group)}
+			}
+			ctx.hopCache[key] = hs
+		}
+		hops = append(hops, hs...)
+	}
+	return assembleTablesFDD(ctx, hops)
+}
+
+// cachedHop is one per-switch hop with its prebuilt single-rule diagram.
+type cachedHop struct {
+	sw int
+	d  *FDD
+}
+
+// strandCacheKey identifies a strand by its segment diagram identities
+// (stable within one context), its links, and the topology's switch set.
+func strandCacheKey(fdds []*FDD, links []netkat.Link, switches []int) string {
+	buf := make([]byte, 0, 8*len(fdds)+20*len(links)+4*len(switches))
+	for _, d := range fdds {
+		buf = strconv.AppendInt(buf, int64(d.id), 10)
+		buf = append(buf, ',')
+	}
+	for _, l := range links {
+		buf = append(buf, ';')
+		buf = strconv.AppendInt(buf, int64(l.Src.Switch), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(l.Src.Port), 10)
+		buf = append(buf, '>')
+		buf = strconv.AppendInt(buf, int64(l.Dst.Switch), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(l.Dst.Port), 10)
+	}
+	buf = append(buf, '@')
+	for _, sw := range switches {
+		buf = strconv.AppendInt(buf, int64(sw), 10)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+// ruleFDD builds the single-rule diagram: a spine of tests for the match,
+// ending in a leaf whose one action encodes the group (the egress port is
+// carried as a "pt" assignment and decoded at extraction).
+func ruleFDD(c *FDDCtx, m flowtable.Match, g flowtable.ActionGroup) *FDD {
+	type lit struct {
+		f  string
+		v  int
+		eq bool
+	}
+	var lits []lit
+	if m.InPort != flowtable.Wildcard {
+		lits = append(lits, lit{f: netkat.FieldPt, v: m.InPort, eq: true})
+	} else {
+		for _, v := range m.ExcludePorts {
+			lits = append(lits, lit{f: netkat.FieldPt, v: v})
+		}
+	}
+	for f, v := range m.Fields {
+		lits = append(lits, lit{f: f, v: v, eq: true})
+	}
+	for f, vs := range m.Excludes {
+		for _, v := range vs {
+			lits = append(lits, lit{f: f, v: v})
+		}
+	}
+	sort.Slice(lits, func(i, j int) bool { return testLess(lits[i].f, lits[i].v, lits[j].f, lits[j].v) })
+
+	acts := make(map[string]int, len(g.Sets)+1)
+	for f, v := range g.Sets {
+		acts[f] = v
+	}
+	acts[netkat.FieldPt] = g.OutPort
+	acc := c.mkLeaf([]*Action{c.internAction(acts)})
+	for i := len(lits) - 1; i >= 0; i-- {
+		if lits[i].eq {
+			acc = c.mkNode(lits[i].f, lits[i].v, acc, c.Drop)
+		} else {
+			acc = c.mkNode(lits[i].f, lits[i].v, c.Drop, acc)
+		}
+	}
+	return acc
+}
+
+// assembleTablesFDD unions each switch's hop rules into one diagram and
+// extracts a prioritized table from its (disjoint) root-leaf paths.
+// Extraction is memoized on the diagram's identity, so configurations
+// with identical per-switch behavior share one rule list (the shared
+// rules are never mutated downstream).
+func assembleTablesFDD(c *FDDCtx, hops []cachedHop) (flowtable.Tables, error) {
+	perSwitchIDs := map[int][]byte{}
+	perSwitchHops := map[int][]*FDD{}
+	for _, h := range hops {
+		perSwitchIDs[h.sw] = strconv.AppendInt(append(perSwitchIDs[h.sw], ','), int64(h.d.id), 10)
+		perSwitchHops[h.sw] = append(perSwitchHops[h.sw], h.d)
+	}
+	perSwitch := map[int]*FDD{}
+	for sw, ids := range perSwitchIDs {
+		key := string(ids)
+		d, ok := c.foldCache[key]
+		if !ok {
+			d = c.Drop
+			for _, hd := range perSwitchHops[sw] {
+				d = c.Union(d, hd)
+			}
+			c.foldCache[key] = d
+		}
+		perSwitch[sw] = d
+	}
+	switches := make([]int, 0, len(perSwitch))
+	for sw := range perSwitch {
+		switches = append(switches, sw)
+	}
+	sort.Ints(switches)
+
+	tables := flowtable.Tables{}
+	for _, sw := range switches {
+		d := perSwitch[sw]
+		rules, ok := c.ruleCache[d.id]
+		if !ok {
+			var err error
+			rules, err = extractRules(d)
+			if err != nil {
+				return nil, fmt.Errorf("switch %d: %w", sw, err)
+			}
+			c.ruleCache[d.id] = rules
+		}
+		tables.Get(sw).AddAll(rules)
+	}
+	return tables, nil
+}
+
+// extractRules converts a switch diagram to prioritized rules: hi edges
+// contribute equalities (an equality on a field supersedes accumulated
+// exclusions on it), lo edges contribute exclusions, and empty leaves
+// fall through to the table's default drop. The resulting matches
+// partition the packet space, so priorities (assigned by specificity for
+// readability) never change behavior. The traversal threads one mutable
+// literal stack (restored on backtrack) and materializes maps only at
+// leaves.
+func extractRules(d *FDD) ([]flowtable.Rule, error) {
+	var rules []flowtable.Rule
+	type pathLit struct {
+		f  string
+		v  int
+		eq bool
+	}
+	var lits []pathLit
+	var walk func(n *FDD) error
+	walk = func(n *FDD) error {
+		if n.leaf {
+			if len(n.acts) == 0 {
+				return nil
+			}
+			m := flowtable.Match{InPort: flowtable.Wildcard, Fields: map[string]int{}, Excludes: map[string][]int{}}
+			for _, l := range lits {
+				switch {
+				case l.f == netkat.FieldPt && l.eq:
+					m.InPort = l.v
+				case l.f == netkat.FieldPt:
+					m.ExcludePorts = append(m.ExcludePorts, l.v)
+				case l.eq:
+					m.Fields[l.f] = l.v
+					delete(m.Excludes, l.f) // the equality subsumes prior exclusions
+				default:
+					m.Excludes[l.f] = append(m.Excludes[l.f], l.v)
+				}
+			}
+			if m.InPort != flowtable.Wildcard {
+				m.ExcludePorts = nil
+			} else {
+				sort.Ints(m.ExcludePorts)
+			}
+			groups := make([]flowtable.ActionGroup, 0, len(n.acts))
+			for _, a := range n.acts {
+				out, ok := a.Get(netkat.FieldPt)
+				if !ok {
+					return fmt.Errorf("nkc: table action %v has no egress port", a)
+				}
+				sets := a.Sets()
+				delete(sets, netkat.FieldPt)
+				groups = append(groups, flowtable.ActionGroup{Sets: sets, OutPort: out})
+			}
+			sort.Slice(groups, func(i, j int) bool { return groups[i].Key() < groups[j].Key() })
+			rules = append(rules, flowtable.Rule{Priority: m.Specificity(), Match: m, Groups: groups})
+			return nil
+		}
+		if n.field == netkat.FieldSw {
+			return fmt.Errorf("nkc: switch test %s=%d inside a per-switch diagram", n.field, n.value)
+		}
+		lits = append(lits, pathLit{f: n.field, v: n.value, eq: true})
+		if err := walk(n.hi); err != nil {
+			return err
+		}
+		lits[len(lits)-1].eq = false
+		if err := walk(n.lo); err != nil {
+			return err
+		}
+		lits = lits[:len(lits)-1]
+		return nil
+	}
+	if err := walk(d); err != nil {
+		return nil, err
+	}
+	return rules, nil
+}

@@ -7,6 +7,8 @@ import (
 	"eventnet/internal/apps"
 	"eventnet/internal/ets"
 	"eventnet/internal/flowtable"
+	"eventnet/internal/nkc"
+	"eventnet/internal/stateful"
 )
 
 // TestPaperTrieExample reproduces the worked example of Section 5.3 /
@@ -159,6 +161,43 @@ func TestFromTablesAppReduction(t *testing.T) {
 			t.Errorf("%s: no reduction (%d -> %d)", a.Name, naive, got)
 		}
 		t.Logf("%s: %d -> %d rules (%.0f%% saved)", a.Name, naive, got, 100*float64(naive-got)/float64(naive))
+	}
+}
+
+// TestFromTablesFDDRuleSharing checks the trie heuristic over rules
+// emitted by each compiler backend explicitly: identical rules across
+// configurations must collapse to shared IDs (the universe is smaller
+// than the naive count), and guard widening must keep reducing totals on
+// the FDD backend's disjoint-match tables just as on the DNF reference.
+func TestFromTablesFDDRuleSharing(t *testing.T) {
+	for _, backend := range []nkc.Backend{nkc.BackendFDD, nkc.BackendDNF} {
+		comp := nkc.NewCompilerWith(backend)
+		for _, a := range []apps.App{apps.Firewall(), apps.IDS()} {
+			states, _, err := a.Prog.ReachableStates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var tabs []flowtable.Tables
+			for _, k := range states {
+				tables, err := comp.Compile(stateful.Project(a.Prog.Cmd, k), a.Topo)
+				if err != nil {
+					t.Fatalf("%s/%v: %v", backend, a.Name, err)
+				}
+				tabs = append(tabs, tables)
+			}
+			configs, universe := FromTables(tabs)
+			naive := Naive(configs)
+			if universe >= naive {
+				t.Errorf("%s/%s: no cross-configuration rule sharing (universe %d, naive %d)", backend, a.Name, universe, naive)
+			}
+			g, err := Greedy(configs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := g.TotalRules(); got >= naive {
+				t.Errorf("%s/%s: trie did not reduce (%d -> %d)", backend, a.Name, naive, got)
+			}
+		}
 	}
 }
 

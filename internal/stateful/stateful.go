@@ -9,6 +9,7 @@ package stateful
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"eventnet/internal/netkat"
@@ -40,11 +41,16 @@ func (s State) Get(m int) int {
 
 // Key returns a canonical map key.
 func (s State) Key() string {
-	parts := make([]string, len(s))
+	buf := make([]byte, 0, 2+4*len(s))
+	buf = append(buf, '[')
 	for i, v := range s {
-		parts[i] = fmt.Sprint(v)
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(v), 10)
 	}
-	return "[" + strings.Join(parts, ",") + "]"
+	buf = append(buf, ']')
+	return string(buf)
 }
 
 // Equal reports pointwise equality (implicitly zero-padded).
@@ -296,10 +302,16 @@ type Edge struct {
 	Guard *netkat.Conj
 	Loc   netkat.Location
 	To    State
+	key   string // canonical identity, cached at construction (Edge is immutable after)
 }
 
-// Key returns a canonical identity for deduplication.
+// Key returns a canonical identity for deduplication. Edges built by
+// event extraction carry a precomputed key; zero-value edges (e.g. built
+// directly in tests) fall back to computing it.
 func (e Edge) Key() string {
+	if e.key != "" {
+		return e.key
+	}
 	return e.From.Key() + "|" + e.Guard.Key() + "@" + e.Loc.String() + "|" + e.To.Key()
 }
 
@@ -316,20 +328,32 @@ type result struct {
 }
 
 func (r result) union(o result) result {
-	seenE := map[string]bool{}
-	var edges []Edge
-	for _, e := range append(append([]Edge{}, r.edges...), o.edges...) {
-		if !seenE[e.Key()] {
-			seenE[e.Key()] = true
-			edges = append(edges, e)
+	if len(o.edges) == 0 && len(o.phis) == 0 {
+		return r
+	}
+	if len(r.edges) == 0 && len(r.phis) == 0 {
+		return o
+	}
+	seenE := make(map[string]bool, len(r.edges)+len(o.edges))
+	edges := make([]Edge, 0, len(r.edges)+len(o.edges))
+	for _, es := range [2][]Edge{r.edges, o.edges} {
+		for _, e := range es {
+			k := e.Key()
+			if !seenE[k] {
+				seenE[k] = true
+				edges = append(edges, e)
+			}
 		}
 	}
-	seenP := map[string]bool{}
-	var phis []*netkat.Conj
-	for _, c := range append(append([]*netkat.Conj{}, r.phis...), o.phis...) {
-		if !seenP[c.Key()] {
-			seenP[c.Key()] = true
-			phis = append(phis, c)
+	seenP := make(map[string]bool, len(r.phis)+len(o.phis))
+	phis := make([]*netkat.Conj, 0, len(r.phis)+len(o.phis))
+	for _, cs := range [2][]*netkat.Conj{r.phis, o.phis} {
+		for _, c := range cs {
+			k := c.Key()
+			if !seenP[k] {
+				seenP[k] = true
+				phis = append(phis, c)
+			}
 		}
 	}
 	return result{edges: edges, phis: phis}
@@ -345,8 +369,25 @@ func Events(c Cmd, k State) ([]Edge, error) {
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(r.edges, func(i, j int) bool { return r.edges[i].Key() < r.edges[j].Key() })
+	keys := make([]string, len(r.edges))
+	for i, e := range r.edges {
+		keys[i] = e.Key()
+	}
+	sort.Sort(&edgesByKey{edges: r.edges, keys: keys})
 	return r.edges, nil
+}
+
+// edgesByKey sorts edges by precomputed canonical key.
+type edgesByKey struct {
+	edges []Edge
+	keys  []string
+}
+
+func (s *edgesByKey) Len() int           { return len(s.edges) }
+func (s *edgesByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *edgesByKey) Swap(i, j int) {
+	s.edges[i], s.edges[j] = s.edges[j], s.edges[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // events is ⟪c⟫k ϕ. It propagates the conjunction of tests seen so far and
@@ -433,6 +474,7 @@ func events(c Cmd, k State, phi *netkat.Conj) (result, error) {
 			to = to.With(s.Index, s.Value)
 		}
 		e := Edge{From: k.Clone(), Guard: phi.Clone(), Loc: q.Dst, To: to}
+		e.key = e.Key() // precompute while e.key is empty; cached thereafter
 		return result{edges: []Edge{e}, phis: []*netkat.Conj{phi.Clone()}}, nil
 	default:
 		return result{}, fmt.Errorf("stateful: unknown command %T", c)
