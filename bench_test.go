@@ -17,11 +17,18 @@ import (
 	"eventnet/internal/trace"
 )
 
-// BenchmarkTableCompileApps times the full compilation pipeline for the
-// five applications (the paper's in-text 0.013-0.023 s column) on the
-// default (FDD) backend.
+// compileApps is the app set for the full-pipeline compile benchmarks:
+// the five paper applications (the in-text 0.013-0.023 s column) plus
+// bandwidth-cap-80, the stateful-scale workload the incremental pipeline
+// is measured on (docs/BENCHMARKS.md records the trajectory).
+func compileApps() []apps.App {
+	return append(apps.All(), apps.BandwidthCap(80))
+}
+
+// BenchmarkTableCompileApps times the full compilation pipeline on the
+// default backend (incremental FDD through the sharded ETS engine).
 func BenchmarkTableCompileApps(b *testing.B) {
-	for _, a := range apps.All() {
+	for _, a := range compileApps() {
 		a := a
 		b.Run(a.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -34,13 +41,30 @@ func BenchmarkTableCompileApps(b *testing.B) {
 }
 
 // BenchmarkTableCompileAppsDNF times the same pipeline on the reference
-// DNF/strand backend — the baseline the FDD backend is measured against
-// (CHANGES.md records the comparison).
+// DNF/strand backend — the from-scratch baseline the incremental FDD
+// path is measured against (CHANGES.md records the comparison).
 func BenchmarkTableCompileAppsDNF(b *testing.B) {
 	old := nkc.DefaultBackend
 	nkc.DefaultBackend = nkc.BackendDNF
 	defer func() { nkc.DefaultBackend = old }()
-	for _, a := range apps.All() {
+	for _, a := range compileApps() {
+		a := a
+		b.Run(a.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(a.Prog, a.Topo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableCompileScale times the full pipeline on the large sweeps
+// the incremental engine opened (bandwidth-cap-200 needs 201 events —
+// past the old 64-event tag word — and ids-fattree-4 compiles multi-hop
+// routes over a 20-switch data-center fabric).
+func BenchmarkTableCompileScale(b *testing.B) {
+	for _, a := range apps.Scale() {
 		a := a
 		b.Run(a.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

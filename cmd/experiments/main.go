@@ -1,23 +1,77 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation (Section 5) and prints them in order. Use -quick for a
-// reduced Figure 10 sweep and smaller ring diameters.
+// evaluation (Section 5) and prints them in order, plus the scale sweep
+// opened by the incremental compilation pipeline. Use -quick for a
+// reduced Figure 10 sweep and smaller ring diameters, and -json for
+// machine-readable output (one JSON object per line, suitable for
+// tracking the benchmark trajectory across PRs — see docs/BENCHMARKS.md).
 //
-//	experiments           # full reproduction (a few minutes)
-//	experiments -quick    # seconds
+//	experiments                  # full reproduction (a few minutes)
+//	experiments -quick           # seconds
 //	experiments -only fig14,fig17
+//	experiments -json -only scale
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"eventnet/internal/exp"
 )
 
+// result is the machine-readable form of one experiment's output.
+type result struct {
+	Kind    string     `json:"kind"` // "table" or "timeline"
+	Name    string     `json:"name"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	// Timelines flatten to rows of [series, time, flow, outcome].
+}
+
+var asJSON bool
+
+// emit prints a table or timeline either human-readably or as one JSON
+// line.
+func emit(name string, v any) {
+	if !asJSON {
+		fmt.Println(v)
+		return
+	}
+	var r result
+	switch t := v.(type) {
+	case *exp.Table:
+		r = result{Kind: "table", Name: name, Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+	case *exp.Timeline:
+		r = result{Kind: "timeline", Name: name, Title: t.Title, Columns: []string{"series", "time_s", "flow", "outcome"}}
+		for _, series := range []struct {
+			label string
+			pts   []exp.TimelinePoint
+		}{{"correct", t.Correct}, {"uncoordinated", t.Uncoord}} {
+			for _, p := range series.pts {
+				mark := "ok"
+				if !p.OK {
+					mark = "drop"
+				}
+				r.Rows = append(r.Rows, []string{series.label, fmt.Sprintf("%.2f", p.Time), p.Flow, mark})
+			}
+		}
+	default:
+		panic(fmt.Sprintf("experiments: unknown result type %T", v))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(r); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
-	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables")
+	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables, scale")
+	flag.BoolVar(&asJSON, "json", false, "emit one JSON object per experiment instead of text")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -29,50 +83,53 @@ func main() {
 	sel := func(k string) bool { return len(want) == 0 || want[k] }
 
 	if sel("tables") {
-		fmt.Println(exp.TableCompile())
-		fmt.Println(exp.TableOptimize())
+		emit("table-compile", exp.TableCompile())
+		emit("table-optimize", exp.TableOptimize())
+	}
+	if sel("scale") {
+		emit("scale", exp.TableCompileScale())
 	}
 	if sel("fig10") {
 		if *quick {
-			fmt.Println(exp.Fig10(1000, 250, 3))
+			emit("fig10", exp.Fig10(1000, 250, 3))
 		} else {
-			fmt.Println(exp.Fig10(5000, 100, 10))
+			emit("fig10", exp.Fig10(5000, 100, 10))
 		}
 	}
 	if sel("fig11") {
-		fmt.Println(exp.Fig11())
+		emit("fig11", exp.Fig11())
 	}
 	if sel("fig12") {
-		fmt.Println(exp.Fig12())
+		emit("fig12", exp.Fig12())
 	}
 	if sel("fig13") {
-		fmt.Println(exp.Fig13())
+		emit("fig13", exp.Fig13())
 	}
 	if sel("fig14") {
-		fmt.Println(exp.Fig14())
+		emit("fig14", exp.Fig14())
 	}
 	if sel("fig15") {
-		fmt.Println(exp.Fig15())
+		emit("fig15", exp.Fig15())
 	}
 	if sel("fig16a") {
 		ds := []int{2, 3, 4, 5, 6, 7, 8}
 		if *quick {
 			ds = []int{2, 4, 6}
 		}
-		fmt.Println(exp.Fig16a(ds))
+		emit("fig16a", exp.Fig16a(ds))
 	}
 	if sel("fig16b") {
 		ds := []int{3, 4, 5, 6, 7, 8}
 		if *quick {
 			ds = []int{3, 5, 7}
 		}
-		fmt.Println(exp.Fig16b(ds))
+		emit("fig16b", exp.Fig16b(ds))
 	}
 	if sel("fig17") {
 		trials := 20
 		if *quick {
 			trials = 5
 		}
-		fmt.Println(exp.Fig17(trials, 42))
+		emit("fig17", exp.Fig17(trials, 42))
 	}
 }

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	appName := flag.String("app", "", "built-in application: firewall, learning-switch, authentication, bandwidth-cap, ids, ring")
+	appName := flag.String("app", "", "built-in application: firewall, learning-switch, authentication, bandwidth-cap, ids, ring, walled-garden, distributed-firewall, ids-fattree")
 	backend := flag.String("backend", "fdd", "table-generation backend: fdd (decision diagrams, default) or dnf (strand/DNF reference)")
 	srcPath := flag.String("src", "", "Stateful NetKAT source file")
 	topoName := flag.String("topo", "firewall", "topology for -src: firewall, learning-switch, star, ring")
@@ -137,6 +137,12 @@ func loadProgram(appName, srcPath, topoName, initVec string, ringD, capN int) (s
 			a = apps.IDS()
 		case "ring":
 			a = apps.Ring(ringD)
+		case "walled-garden":
+			a = apps.WalledGarden()
+		case "distributed-firewall":
+			a = apps.DistributedFirewall()
+		case "ids-fattree":
+			a = apps.IDSFatTree(4)
 		default:
 			return stateful.Program{}, nil, "", fmt.Errorf("unknown app %q", appName)
 		}

@@ -67,10 +67,12 @@ type System struct {
 // extracted (Figure 6), the ETS conditions of Section 3.1 are checked,
 // and the NES is constructed and verified locally determined.
 //
-// Per-state configurations compile independently on a bounded worker
-// pool (one worker per CPU) through the selected internal/nkc backend —
-// forwarding decision diagrams by default, with a shared hash-consing
-// context per worker (see docs/ARCHITECTURE.md).
+// Construction runs on the incremental sharded engine: exploration and
+// compilation overlap on a work-stealing pool, and per-state
+// configurations compile as deltas — only sub-policies whose state
+// guards changed re-enter FDD translation, with unchanged strands and
+// tables reused across states and workers (see docs/PIPELINE.md). The
+// result is deterministic for any worker count.
 func Compile(p Program, t *Topology) (*System, error) {
 	e, err := ets.Build(p, t)
 	if err != nil {

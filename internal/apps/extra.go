@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"fmt"
+
 	"eventnet/internal/stateful"
 	"eventnet/internal/topo"
 )
@@ -62,6 +64,93 @@ func WalledGarden() App {
 		Topo: topo.Star(),
 		Prog: stateful.Program{Cmd: stateful.UnionC(portal, toH2, toH3, back), Init: stateful.State{0}},
 	}
+}
+
+// routeChain builds the command steering a packet from srcHost's edge
+// switch to dstHost's host port along the topology's deterministic
+// shortest path: a guard on the source attachment port and the
+// destination address, then one (pt<-out; link) pair per hop. When
+// stUpd >= 0 the final link — whose arrival at the destination edge
+// switch is the observable event — carries the state update state(0)<-stUpd.
+func routeChain(tp *topo.Topology, srcHost, dstHost string, dst int, stUpd int) stateful.Cmd {
+	hs, ok := tp.HostByName(srcHost)
+	if !ok {
+		panic(fmt.Sprintf("apps: unknown host %q", srcHost))
+	}
+	hd, ok := tp.HostByName(dstHost)
+	if !ok {
+		panic(fmt.Sprintf("apps: unknown host %q", dstHost))
+	}
+	links, ok := tp.ShortestPath(hs.Attach.Switch, hd.Attach.Switch)
+	if !ok || len(links) == 0 {
+		panic(fmt.Sprintf("apps: no multi-hop route from %s to %s", srcHost, dstHost))
+	}
+	cmds := []stateful.Cmd{test(and(ptEq(hs.Attach.Port), dstEq(dst)))}
+	for i, l := range links {
+		cmds = append(cmds, ptTo(l.Src.Port))
+		if i == len(links)-1 && stUpd >= 0 {
+			cmds = append(cmds, linkSt(l.Src, l.Dst, stUpd))
+		} else {
+			cmds = append(cmds, link(l.Src, l.Dst))
+		}
+		// Re-test the destination after every hop. Semantically the test is
+		// idempotent (dst is never rewritten), but it keeps it in each
+		// hop's match, so routes to different hosts that share fabric
+		// links compile to disjoint rules instead of merging into
+		// multicast at the switches where they diverge.
+		cmds = append(cmds, test(dstEq(dst)))
+	}
+	cmds = append(cmds, ptTo(hd.Attach.Port))
+	return stateful.SeqC(cmds...)
+}
+
+// IDSFatTree lifts the Figure 9(e) intrusion-detection state machine onto
+// a k-ary fat-tree fabric: the monitor host (the fabric's last host)
+// scans H1 and then H2 — each detected by the arrival of its multi-hop
+// flow at the target's edge switch — after which the monitor's access to
+// H3 is cut off. Every flow is routed over the fabric's deterministic
+// shortest path, so configurations span edge, aggregation, and core
+// switches, exercising the compiler on data-center-scale topologies
+// rather than the paper's one-hop stars.
+func IDSFatTree(k int) App {
+	if k < 4 {
+		// k=2 yields only 2 hosts; the IDS needs H1-H3 plus a monitor on
+		// a different edge switch.
+		panic(fmt.Sprintf("apps: IDSFatTree needs arity >= 4, got %d", k))
+	}
+	tp := topo.FatTree(k)
+	mon := fmt.Sprintf("H%d", k*k*k/4)
+
+	scan1 := stateful.UnionC(
+		stateful.SeqC(test(stEq(0)), routeChain(tp, mon, "H1", H(1), 1)),
+		stateful.SeqC(test(stNeq(0)), routeChain(tp, mon, "H1", H(1), -1)),
+	)
+	scan2 := stateful.UnionC(
+		stateful.SeqC(test(stEq(1)), routeChain(tp, mon, "H2", H(2), 2)),
+		stateful.SeqC(test(stNeq(1)), routeChain(tp, mon, "H2", H(2), -1)),
+	)
+	reach3 := stateful.SeqC(test(stNeq(2)), routeChain(tp, mon, "H3", H(3), -1))
+	monN := k * k * k / 4
+	back := stateful.UnionC(
+		routeChain(tp, "H1", mon, H(monN), -1),
+		routeChain(tp, "H2", mon, H(monN), -1),
+		routeChain(tp, "H3", mon, H(monN), -1),
+	)
+	return App{
+		Name: fmt.Sprintf("ids-fattree-%d", k),
+		Topo: tp,
+		Prog: stateful.Program{
+			Cmd:  stateful.UnionC(scan1, scan2, reach3, back),
+			Init: stateful.State{0},
+		},
+	}
+}
+
+// Scale returns the large-sweep applications opened by the incremental
+// compilation pipeline: bandwidth caps far past the 64-event tag word
+// and intrusion detection on a data-center fabric.
+func Scale() []App {
+	return []App{BandwidthCap(80), BandwidthCap(200), IDSFatTree(4)}
 }
 
 // DistributedFirewall: H1 and H2 each independently open their own

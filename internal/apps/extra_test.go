@@ -3,8 +3,11 @@ package apps
 import (
 	"testing"
 
+	"eventnet/internal/ets"
 	"eventnet/internal/netkat"
+	"eventnet/internal/runtime"
 	"eventnet/internal/stateful"
+	"eventnet/internal/trace"
 )
 
 // TestWalledGardenStates: two states; H2/H3 reachable only after the
@@ -61,5 +64,80 @@ func TestDistributedFirewallDiamond(t *testing.T) {
 	}
 	if !locs[netkat.Location{Switch: 4, Port: 1}] || !locs[netkat.Location{Switch: 4, Port: 3}] {
 		t.Errorf("event locations: %v", locs)
+	}
+}
+
+// TestIDSFatTree: the IDS state machine lifted to the fat-tree fabric has
+// the same three-state chain as the paper's IDS, with events at the
+// targets' edge switches, and its end-to-end behavior enforces the cutoff:
+// after scanning H1 then H2, the monitor can no longer reach H3.
+func TestIDSFatTree(t *testing.T) {
+	a := IDSFatTree(4)
+	if err := a.Topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	states, edges, err := a.Prog.ReachableStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 3 {
+		t.Fatalf("states: %v", states)
+	}
+	// Both scan events are observed at the targets' edge switch (packets
+	// arrive there on an upstream port, which is where the event fires).
+	h1, _ := a.Topo.HostByName("H1")
+	h2, _ := a.Topo.HostByName("H2")
+	sws := map[int]bool{}
+	for _, e := range edges {
+		sws[e.Loc.Switch] = true
+	}
+	for _, want := range []int{h1.Attach.Switch, h2.Attach.Switch} {
+		if !sws[want] {
+			t.Fatalf("missing event at switch %d (have %v)", want, sws)
+		}
+	}
+	// Behavior: before the scan sequence the monitor reaches H3; after
+	// scanning H1 then H2, H3 is cut off while H1 stays reachable.
+	e, err := ets.Build(a.Prog, a.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.ToNES()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := "H16"
+	m := runtime.New(n, a.Topo, 1, false)
+	send := func(src string, dst int) {
+		if err := m.Inject(src, netkat.Packet{FieldDst: H(dst)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RunToQuiescence(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(mon, 3)
+	if n := len(m.DeliveredTo("H3")); n != 1 {
+		t.Fatalf("pre-scan H3 deliveries: %d", n)
+	}
+	// Scan H1 then H2; each target replies, and the reply's event digest
+	// teaches the monitor's edge switch about the scans on its way back
+	// (the paper's coordination-free propagation — without the replies,
+	// old-configuration packets from the monitor would correctly keep
+	// flowing under the pre-scan tables).
+	send(mon, 1)
+	send("H1", 16)
+	send(mon, 2)
+	send("H2", 16)
+	send(mon, 3)
+	if n := len(m.DeliveredTo("H3")); n != 1 {
+		t.Fatalf("post-scan H3 deliveries: %d (cutoff failed)", n)
+	}
+	send(mon, 1)
+	if n := len(m.DeliveredTo("H1")); n != 2 {
+		t.Fatalf("H1 deliveries: %d", n)
+	}
+	if err := trace.CheckNES(m.NetTrace(), n, a.Topo.HostLocs()); err != nil {
+		t.Fatalf("trace inconsistent: %v", err)
 	}
 }

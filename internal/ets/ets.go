@@ -4,27 +4,33 @@
 // from a Stateful NetKAT program (Section 3.3), checks the two conditions
 // under which the ETS's family of event-sets forms a valid NES
 // (Section 3.1), and performs the conversion to an NES.
+//
+// Construction runs on an incremental, sharded engine (build.go):
+// reachable-state exploration and per-state configuration compilation
+// overlap on a work-stealing pool, and per-worker nkc.ProgramCompilers
+// reuse FDDs and tables across states through guard-signature caches —
+// see docs/PIPELINE.md for the full pipeline, the cache design, and the
+// sharding/dedup invariants.
 package ets
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"eventnet/internal/flowtable"
 	"eventnet/internal/nes"
 	"eventnet/internal/netkat"
-	"eventnet/internal/nkc"
 	"eventnet/internal/stateful"
 	"eventnet/internal/topo"
 )
 
-// Vertex is an ETS node: a state vector together with its configuration
-// (both as a projected NetKAT policy and as compiled flow tables).
+// Vertex is an ETS node: a state vector together with its compiled
+// configuration. The projected NetKAT policy is not materialized (it is
+// derivable as stateful.Project(cmd, State) and was dead weight at scale
+// — an O(|program|) AST per state); Tables may be shared between vertices
+// whose states project identically and must be treated as immutable.
 type Vertex struct {
 	ID     int
 	State  stateful.State
-	Policy netkat.Policy
 	Tables flowtable.Tables
 }
 
@@ -47,98 +53,12 @@ type ETS struct {
 // (the ETS(p) function of Section 3.3): vertices are the reachable state
 // vectors with their projected-and-compiled configurations; edges carry
 // occurrence-renamed events (Section 3.1's renaming for events encountered
-// multiple times along an execution).
+// multiple times along an execution). Exploration and compilation run on
+// the incremental sharded engine (see BuildWithOptions); the result is
+// deterministic regardless of worker count.
 func Build(p stateful.Program, t *topo.Topology) (*ETS, error) {
-	states, edges, err := p.ReachableStates()
-	if err != nil {
-		return nil, err
-	}
-	e := &ETS{Init: 0, Topo: t}
-	vid := map[string]int{}
-	verts, err := compileVertices(p, t, states)
-	if err != nil {
-		return nil, err
-	}
-	e.Vertices = verts
-	for i, k := range states {
-		vid[k.Key()] = i
-	}
-
-	// Adjacency on raw (un-renamed) edges.
-	var raw []rawEdge
-	for _, ed := range edges {
-		f, ok := vid[ed.From.Key()]
-		if !ok {
-			continue
-		}
-		t2, ok := vid[ed.To.Key()]
-		if !ok {
-			return nil, fmt.Errorf("ets: edge target state %v not reachable", ed.To)
-		}
-		raw = append(raw, rawEdge{from: f, to: t2, guardKey: ed.Guard.Key() + "@" + ed.Loc.String(), guard: ed.Guard, loc: ed.Loc})
-	}
-
-	if err := checkAcyclic(len(e.Vertices), raw, e.Init); err != nil {
-		return nil, err
-	}
-	if err := e.finish(raw); err != nil {
-		return nil, err
-	}
-	return e, nil
-}
-
-// compileVertices projects and compiles every reachable state's
-// configuration on a bounded worker pool (at most one worker per CPU).
-// Per-state compiles are independent — Project is pure and each
-// nkc.Compile builds its own FDD context — so the ETS build scales with
-// cores; vertex order (and hence every downstream ID) is preserved.
-func compileVertices(p stateful.Program, t *topo.Topology, states []stateful.State) ([]Vertex, error) {
-	verts := make([]Vertex, len(states))
-	errs := make([]error, len(states))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(states) {
-		workers = len(states)
-	}
-	if workers <= 1 {
-		comp := nkc.NewCompiler()
-		for i, k := range states {
-			compileVertex(comp, p, t, k, i, verts, errs)
-		}
-	} else {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				comp := nkc.NewCompiler()
-				for i := range idx {
-					compileVertex(comp, p, t, states[i], i, verts, errs)
-				}
-			}()
-		}
-		for i := range states {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return verts, nil
-}
-
-func compileVertex(comp *nkc.Compiler, p stateful.Program, t *topo.Topology, k stateful.State, i int, verts []Vertex, errs []error) {
-	pol := stateful.Project(p.Cmd, k)
-	tables, err := comp.Compile(pol, t)
-	if err != nil {
-		errs[i] = fmt.Errorf("ets: compiling configuration for state %v: %w", k, err)
-		return
-	}
-	verts[i] = Vertex{ID: i, State: k, Policy: pol, Tables: tables}
+	e, _, err := BuildWithOptions(p, t, Options{})
+	return e, err
 }
 
 func sameCounts(a, b map[string]int) bool {

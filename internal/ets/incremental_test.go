@@ -1,0 +1,149 @@
+package ets
+
+import (
+	"testing"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/nkc"
+	"eventnet/internal/stateful"
+)
+
+// incrementalApps are the correctness set for the incremental engine: the
+// five paper applications, the ring, and the scale workloads.
+func incrementalApps() []apps.App {
+	out := apps.All()
+	out = append(out, apps.Ring(3), apps.WalledGarden(), apps.DistributedFirewall(), apps.IDSFatTree(4), apps.BandwidthCap(40))
+	return out
+}
+
+// TestIncrementalMatchesFromScratch is the acceptance property for the
+// delta path: on every reachable state of every application, the tables
+// the incremental engine produced are byte-identical to a from-scratch
+// CompileFDD of the projected policy. Together with the existing
+// CompileFDD-vs-DNF relational property (nkc.TestCompileFDDMatchesDNFOnApps,
+// which drives both backends' tables as configuration relations on every
+// reachable state), this pins the incremental path to the DNF oracle too.
+func TestIncrementalMatchesFromScratch(t *testing.T) {
+	for _, a := range incrementalApps() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			e, err := Build(a.Prog, a.Topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range e.Vertices {
+				pol := stateful.Project(a.Prog.Cmd, v.State)
+				scratch, err := nkc.CompileFDD(pol, a.Topo)
+				if err != nil {
+					t.Fatalf("state %v: from-scratch compile: %v", v.State, err)
+				}
+				if got, want := v.Tables.String(), scratch.String(); got != want {
+					t.Fatalf("state %v: incremental tables differ from from-scratch FDD tables\nincremental:\n%s\nscratch:\n%s", v.State, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalMatchesDNFRuleCounts: the incremental path preserves the
+// FDD backend's exact rule-count agreement with the DNF oracle on the
+// paper's five applications.
+func TestIncrementalMatchesDNFRuleCounts(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			e, err := Build(a.Prog, a.Topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range e.Vertices {
+				pol := stateful.Project(a.Prog.Cmd, v.State)
+				dnf, err := nkc.CompileDNF(pol, a.Topo)
+				if err != nil {
+					t.Fatalf("state %v: DNF compile: %v", v.State, err)
+				}
+				if got, want := v.Tables.TotalRules(), dnf.TotalRules(); got != want {
+					t.Fatalf("state %v: %d rules incremental vs %d DNF", v.State, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildDeterministic: the sharded work-stealing engine produces the
+// same ETS — vertex numbering, tables, edges, and renamed events — for
+// any worker count, including oversubscribed pools.
+func TestBuildDeterministic(t *testing.T) {
+	for _, a := range incrementalApps() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			ref, _, err := BuildWithOptions(a.Prog, a.Topo, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 7} {
+				e, _, err := BuildWithOptions(a.Prog, a.Topo, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if e.String() != ref.String() {
+					t.Fatalf("workers=%d: ETS differs from single-worker build\n%s\nvs\n%s", workers, e.String(), ref.String())
+				}
+				if len(e.Vertices) != len(ref.Vertices) {
+					t.Fatalf("workers=%d: vertex count", workers)
+				}
+				for i := range e.Vertices {
+					if e.Vertices[i].Tables.String() != ref.Vertices[i].Tables.String() {
+						t.Fatalf("workers=%d: tables of vertex %d differ", workers, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuildDNFBackend: the engine respects the backend selector — with
+// the DNF reference backend forced, the build still succeeds and agrees
+// with per-state CompileDNF.
+func TestBuildDNFBackend(t *testing.T) {
+	old := nkc.DefaultBackend
+	nkc.DefaultBackend = nkc.BackendDNF
+	defer func() { nkc.DefaultBackend = old }()
+	a := apps.Firewall()
+	e, err := Build(a.Prog, a.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range e.Vertices {
+		dnf, err := nkc.CompileDNF(stateful.Project(a.Prog.Cmd, v.State), a.Topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Tables.String() != dnf.String() {
+			t.Fatalf("state %v: DNF-backend build differs from CompileDNF", v.State)
+		}
+	}
+}
+
+// TestBuildStats: the stats of a single-worker build account exactly for
+// the explored graph.
+func TestBuildStats(t *testing.T) {
+	a := apps.BandwidthCap(10)
+	e, stats, err := BuildWithOptions(a.Prog, a.Topo, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.States != len(e.Vertices) || stats.Edges != len(e.Edges) || stats.Events != len(e.Events) {
+		t.Fatalf("stats %v disagree with ETS shape %d/%d/%d", stats, len(e.Vertices), len(e.Edges), len(e.Events))
+	}
+	if stats.Cache.TableMisses != int64(stats.Configs) {
+		t.Fatalf("distinct configs %d vs table misses %d", stats.Configs, stats.Cache.TableMisses)
+	}
+	if stats.Cache.TableHits+stats.Cache.TableMisses != int64(stats.States) {
+		t.Fatalf("table lookups %d+%d do not cover %d states",
+			stats.Cache.TableHits, stats.Cache.TableMisses, stats.States)
+	}
+	if stats.Steals != 0 {
+		t.Fatalf("single worker stole %d items", stats.Steals)
+	}
+}

@@ -178,7 +178,12 @@ func BuildUnrolled(p stateful.Program, t *topo.Topology, maxRounds int) (*ETS, e
 	}
 	vid := map[key]int{}
 	compiled := map[string]Vertex{} // per-state compile cache (shared tables)
-	comp := nkc.NewCompiler()       // shared FDD context across per-state compiles
+	// Incremental compiler: unrolled copies of a state share its guard
+	// signature, so every revisit is a whole-table cache hit.
+	pc, err := nkc.NewProgramCompiler(p.Cmd, t, nil)
+	if err != nil {
+		return nil, err
+	}
 	var raw []rawEdge
 
 	addVertex := func(k stateful.State, round int) (int, error) {
@@ -188,19 +193,18 @@ func BuildUnrolled(p stateful.Program, t *topo.Topology, maxRounds int) (*ETS, e
 		}
 		base, ok := compiled[k.Key()]
 		if !ok {
-			pol := stateful.Project(p.Cmd, k)
-			tables, err := comp.Compile(pol, t)
+			tables, err := pc.Compile(k)
 			if err != nil {
 				return 0, fmt.Errorf("ets: compiling configuration for state %v: %w", k, err)
 			}
-			base = Vertex{State: k, Policy: pol, Tables: tables}
+			base = Vertex{State: k, Tables: tables}
 			compiled[k.Key()] = base
 		}
 		id := len(e.Vertices)
 		if id >= maxUnrollVertices {
 			return 0, fmt.Errorf("ets: unrolled state space exceeds %d vertices", maxUnrollVertices)
 		}
-		e.Vertices = append(e.Vertices, Vertex{ID: id, State: base.State, Policy: base.Policy, Tables: base.Tables})
+		e.Vertices = append(e.Vertices, Vertex{ID: id, State: base.State, Tables: base.Tables})
 		vid[kk] = id
 		return id, nil
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"eventnet/internal/apps"
+	"eventnet/internal/nes"
 	"eventnet/internal/netkat"
 	"eventnet/internal/stateful"
 	"eventnet/internal/topo"
@@ -184,7 +185,7 @@ func TestUnrolledToggleRuns(t *testing.T) {
 	if e.Vertices[0].State.Key() != "[0]" || e.Vertices[1].State.Key() != "[1]" {
 		t.Fatalf("vertex states: %v %v", e.Vertices[0].State, e.Vertices[1].State)
 	}
-	if c, ok := n.ConfigAt(0); !ok || n.Configs[c].Label != "[0]" {
+	if c, ok := n.ConfigAt(nes.Empty); !ok || n.Configs[c].Label != "[0]" {
 		t.Fatal("initial config wrong")
 	}
 }

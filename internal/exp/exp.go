@@ -465,6 +465,51 @@ func TableCompile() *Table {
 	return t
 }
 
+// TableCompileScale runs the large-sweep compilation scenarios opened by
+// the incremental sharded pipeline (bandwidth-cap-80/200 and IDS on a
+// fat-tree fabric — all beyond the old 64-event tag or the old
+// from-scratch compile budget), reporting the incremental engine's cache
+// effectiveness next to the compile time. The sweep is the benchmark
+// trajectory tracked across PRs via `experiments -json -only scale`
+// (docs/BENCHMARKS.md).
+func TableCompileScale() *Table {
+	t := &Table{
+		Title:   "Scale sweep: incremental ETS compilation beyond the paper's sizes",
+		Columns: []string{"app", "states", "events", "compile_s", "rules", "seg_hit_pct", "strands", "fdd_nodes"},
+	}
+	for _, a := range apps.Scale() {
+		start := time.Now()
+		// One worker: cache attribution is per-worker, so the hit rates and
+		// store sizes in the tracked trajectory stay scheduling-independent
+		// and comparable across machines (docs/BENCHMARKS.md).
+		e, stats, err := ets.BuildWithOptions(a.Prog, a.Topo, ets.Options{Workers: 1})
+		if err != nil {
+			panic(err)
+		}
+		// Include the NES conversion so compile_s means the same thing as
+		// in TableCompile's column.
+		if _, err := e.ToNES(); err != nil {
+			panic(err)
+		}
+		elapsed := time.Since(start).Seconds()
+		rules := 0
+		for _, v := range e.Vertices {
+			rules += v.Tables.TotalRules()
+		}
+		segTotal := stats.Cache.SegmentHits + stats.Cache.SegmentMisses
+		segPct := 0.0
+		if segTotal > 0 {
+			segPct = 100 * float64(stats.Cache.SegmentHits) / float64(segTotal)
+		}
+		t.Rows = append(t.Rows, []string{
+			a.Name, fmt.Sprint(stats.States), fmt.Sprint(stats.Events),
+			fmt.Sprintf("%.4f", elapsed), fmt.Sprint(rules),
+			fmt.Sprintf("%.1f", segPct), fmt.Sprint(stats.Cache.Strands), fmt.Sprint(stats.Cache.FDDNodes),
+		})
+	}
+	return t
+}
+
 // TableOptimize reproduces the in-text optimization results of
 // Section 5.3: per-application rule counts before and after the trie
 // heuristic (the paper's 18->16, 43->27, 72->46, 158->101, 152->133).

@@ -33,7 +33,7 @@ func BenchmarkCon(b *testing.B) {
 	n := benchNES(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		n.Con(Set(0b1111))
+		n.Con(FromMask(0b1111))
 	}
 }
 
@@ -41,7 +41,7 @@ func BenchmarkEnables(b *testing.B) {
 	n := benchNES(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		n.Enables(Set(0b1111), 4)
+		n.Enables(FromMask(0b1111), 4)
 	}
 }
 

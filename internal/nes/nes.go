@@ -83,7 +83,7 @@ func New(events []Event, family map[Set]int, configs []Config) (*NES, error) {
 		n.family[s] = c
 		n.familyList = append(n.familyList, s)
 	}
-	sort.Slice(n.familyList, func(i, j int) bool { return n.familyList[i] < n.familyList[j] })
+	sort.Slice(n.familyList, func(i, j int) bool { return n.familyList[i].Less(n.familyList[j]) })
 	return n, nil
 }
 
@@ -173,7 +173,7 @@ func (n *NES) EventSets() []Set {
 	for s := range seen {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
@@ -214,35 +214,113 @@ func (n *NES) AllowedSequences() ([][]int, error) {
 	return out, nil
 }
 
-// minIncEnumLimit is the largest event universe for which
-// MinimallyInconsistent enumerates exhaustively.
-const minIncEnumLimit = 20
+// minIncWorkBound caps the hitting-set recursion.
+const minIncWorkBound = 1 << 22
 
 // MinimallyInconsistent returns every minimally-inconsistent set: an
 // inconsistent set all of whose proper subsets are consistent (Section 2,
-// "Locality Restrictions"). Enumeration is exhaustive for universes of at
-// most 20 events (every program in the paper is far below this).
+// "Locality Restrictions").
+//
+// A set is consistent iff it is contained in some family member, so X is
+// inconsistent iff it intersects the complement E \ F of every family
+// member F — i.e. X is a hitting set of the complement hypergraph. The
+// minimally-inconsistent sets are exactly its minimal hitting sets, which
+// are enumerated by branching on the elements of the first un-hit edge.
+// This replaces the former exhaustive 2^|E| scan (capped at 20 events) and
+// scales to the occurrence-renamed universes of the large sweeps
+// (bandwidth-cap-200 has 201 events), whose chain-shaped families resolve
+// immediately: the full set is a member, its complement is empty, and no
+// hitting set exists.
 func (n *NES) MinimallyInconsistent() ([]Set, error) {
-	ne := len(n.Events)
-	if ne > minIncEnumLimit {
-		return nil, fmt.Errorf("nes: %d events exceed the exhaustive enumeration limit %d", ne, minIncEnumLimit)
+	all := Empty
+	for _, ev := range n.Events {
+		all = all.With(ev.ID)
 	}
-	var out []Set
-	for s := Set(1); s < Set(1)<<uint(ne); s++ {
-		if n.Con(s) {
-			continue
+	// Complement edges, keeping only the minimal ones (a superset edge is
+	// hit whenever its subset is).
+	var edges []Set
+	for _, f := range n.familyList {
+		c := all.Minus(f)
+		if c == Empty {
+			return nil, nil // the full universe is consistent
 		}
+		edges = append(edges, c)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Count() < edges[j].Count() })
+	var minimalEdges []Set
+	for _, c := range edges {
+		redundant := false
+		for _, m := range minimalEdges {
+			if m.SubsetOf(c) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			minimalEdges = append(minimalEdges, c)
+		}
+	}
+	edges = minimalEdges
+
+	hitsAll := func(x Set) bool {
+		for _, c := range edges {
+			if x.Minus(c) == x { // x ∩ c == ∅
+				return false
+			}
+		}
+		return true
+	}
+
+	work := 0
+	seen := map[Set]bool{}
+	var found []Set
+	var rec func(cur Set, from int) error
+	rec = func(cur Set, from int) error {
+		if work++; work > minIncWorkBound {
+			return fmt.Errorf("nes: minimal-inconsistency enumeration exceeded %d steps", minIncWorkBound)
+		}
+		next := -1
+		for i := from; i < len(edges); i++ {
+			if cur.Minus(edges[i]) == cur {
+				next = i
+				break
+			}
+		}
+		if next == -1 {
+			if !seen[cur] {
+				seen[cur] = true
+				found = append(found, cur)
+			}
+			return nil
+		}
+		for _, e := range edges[next].Elems() {
+			if err := rec(cur.With(e), next+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(Empty, 0); err != nil {
+		return nil, err
+	}
+	// The recursion reaches every minimal hitting set but may also emit
+	// non-minimal ones (a later branch element can subsume an earlier
+	// choice); keep exactly the sets all of whose proper subsets miss an
+	// edge.
+	var out []Set
+	for _, x := range found {
 		minimal := true
-		for _, e := range s.Elems() {
-			if !n.Con(s.Without(e)) {
+		for _, e := range x.Elems() {
+			if hitsAll(x.Without(e)) {
 				minimal = false
 				break
 			}
 		}
 		if minimal {
-			out = append(out, s)
+			out = append(out, x)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out, nil
 }
 

@@ -32,11 +32,14 @@ func TestSetOps(t *testing.T) {
 
 func TestSetLaws(t *testing.T) {
 	f := func(a, b uint64) bool {
-		x, y := Set(a), Set(b)
+		x, y := FromMask(a), FromMask(b)
 		return x.Union(y) == y.Union(x) &&
 			x.SubsetOf(x.Union(y)) &&
 			x.Union(x) == x &&
-			(x.SubsetOf(y) == (x.Union(y) == y))
+			(x.SubsetOf(y) == (x.Union(y) == y)) &&
+			x.Minus(y) == FromMask(a&^b) &&
+			x.Union(y).Minus(y) == FromMask(a&^b) &&
+			x.Less(y) == (a < b)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -107,7 +110,7 @@ func TestConDownwardClosed(t *testing.T) {
 	n := chainNES(t, 3)
 	r := rand.New(rand.NewSource(1))
 	for i := 0; i < 200; i++ {
-		x := Set(r.Uint64() & 7)
+		x := FromMask(r.Uint64() & 7)
 		if !n.Con(x) {
 			continue
 		}
@@ -122,12 +125,14 @@ func TestConDownwardClosed(t *testing.T) {
 func TestEnablesMonotone(t *testing.T) {
 	// Definition 3: (X ⊢ e) ∧ X ⊆ Y ∧ con(Y) ⟹ Y ⊢ e.
 	n := chainNES(t, 3)
-	for x := Set(0); x < 8; x++ {
+	for xm := uint64(0); xm < 8; xm++ {
+		x := FromMask(xm)
 		for e := 0; e < 3; e++ {
 			if !n.Enables(x, e) {
 				continue
 			}
-			for y := Set(0); y < 8; y++ {
+			for ym := uint64(0); ym < 8; ym++ {
+				y := FromMask(ym)
 				if x.SubsetOf(y) && n.Con(y) && !n.Enables(y, e) {
 					t.Fatalf("enabling not monotone: %v ⊢ %d but %v ⊬ %d", x, e, y, e)
 				}

@@ -4,9 +4,11 @@
 // extended with a map g assigning a network configuration to every
 // event-set.
 //
-// Event-sets are encoded as uint64 bitmasks, mirroring the paper's
-// implementation strategy of encoding each event-set as a flat integer tag
-// carried in a packet header field (Section 4.1).
+// Event-sets are encoded as immutable little-endian bitsets (8 events per
+// byte), generalizing the paper's strategy of encoding each event-set as a
+// flat integer tag carried in a packet header field (Section 4.1): the tag
+// is simply wider than one machine word when a program needs more than 64
+// events (e.g. bandwidth-cap-200's 201 occurrence-renamed events).
 package nes
 
 import (
@@ -15,46 +17,175 @@ import (
 	"strings"
 )
 
-// MaxEvents is the capacity of a Set.
-const MaxEvents = 64
+// MaxEvents is the capacity of a Set — a sanity bound on tag width, far
+// above any reachable-state budget (stateful exploration caps at 4096
+// states, and a loop-free ETS has fewer events than edges).
+const MaxEvents = 4096
 
-// Set is a set of event IDs encoded as a bitmask.
-type Set uint64
+// Set is a set of event IDs encoded as a little-endian bitset packed 8
+// events per byte, kept canonical (no trailing zero bytes) so that ==,
+// map-key identity, and set equality coincide. The zero value is the
+// empty set. Sets are immutable; all operations return new sets.
+type Set string
 
 // Empty is the empty event-set.
-const Empty Set = 0
+const Empty Set = ""
 
 // Singleton returns the set {e}.
-func Singleton(e int) Set { return 1 << uint(e) }
+func Singleton(e int) Set {
+	b := make([]byte, e/8+1)
+	b[e/8] = 1 << uint(e%8)
+	return Set(b)
+}
+
+// FromMask builds a Set from a uint64 bitmask (bit i ⇒ event i): the old
+// single-word representation, kept for small-universe tests and tools.
+func FromMask(m uint64) Set {
+	var b []byte
+	for m != 0 {
+		b = append(b, byte(m))
+		m >>= 8
+	}
+	return Set(b)
+}
 
 // Has reports whether e is in the set.
-func (s Set) Has(e int) bool { return s&Singleton(e) != 0 }
+func (s Set) Has(e int) bool {
+	i := e / 8
+	return i < len(s) && s[i]&(1<<uint(e%8)) != 0
+}
 
 // With returns s ∪ {e}.
-func (s Set) With(e int) Set { return s | Singleton(e) }
+func (s Set) With(e int) Set {
+	i := e / 8
+	bit := byte(1) << uint(e%8)
+	if i < len(s) && s[i]&bit != 0 {
+		return s
+	}
+	n := len(s)
+	if i+1 > n {
+		n = i + 1
+	}
+	b := make([]byte, n)
+	copy(b, s)
+	b[i] |= bit
+	return Set(b)
+}
 
 // Without returns s \ {e}.
-func (s Set) Without(e int) Set { return s &^ Singleton(e) }
+func (s Set) Without(e int) Set {
+	i := e / 8
+	bit := byte(1) << uint(e%8)
+	if i >= len(s) || s[i]&bit == 0 {
+		return s
+	}
+	b := []byte(s)
+	b[i] &^= bit
+	return Set(trim(b))
+}
 
 // Union returns s ∪ t.
-func (s Set) Union(t Set) Set { return s | t }
+func (s Set) Union(t Set) Set {
+	if len(s) == 0 {
+		return t
+	}
+	if len(t) == 0 {
+		return s
+	}
+	if len(t) > len(s) {
+		s, t = t, s
+	}
+	b := []byte(s)
+	changed := false
+	for i := 0; i < len(t); i++ {
+		if t[i]&^b[i] != 0 {
+			changed = true
+			b[i] |= t[i]
+		}
+	}
+	if !changed {
+		return s
+	}
+	return Set(b)
+}
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	changed := false
+	for i := 0; i < n; i++ {
+		if s[i]&t[i] != 0 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return s
+	}
+	b := []byte(s)
+	for i := 0; i < n; i++ {
+		b[i] &^= t[i]
+	}
+	return Set(trim(b))
+}
 
 // SubsetOf reports s ⊆ t.
-func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+func (s Set) SubsetOf(t Set) bool {
+	if len(s) > len(t) {
+		return false // canonical form: s's top byte is nonzero
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i]&^t[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Count returns |s|.
-func (s Set) Count() int { return bits.OnesCount64(uint64(s)) }
+func (s Set) Count() int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		n += bits.OnesCount8(s[i])
+	}
+	return n
+}
+
+// Less orders sets as the little-endian integers they encode (the order
+// the uint64 representation used to give), for deterministic iteration.
+func (s Set) Less(t Set) bool {
+	if len(s) != len(t) {
+		return len(s) < len(t) // canonical form: longer means a higher bit
+	}
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] != t[i] {
+			return s[i] < t[i]
+		}
+	}
+	return false
+}
 
 // Elems returns the event IDs in ascending order.
 func (s Set) Elems() []int {
 	out := make([]int, 0, s.Count())
-	for e := 0; s != 0; e++ {
-		if s.Has(e) {
-			out = append(out, e)
-			s = s.Without(e)
+	for i := 0; i < len(s); i++ {
+		for b := s[i]; b != 0; b &= b - 1 {
+			out = append(out, i*8+bits.TrailingZeros8(b))
 		}
 	}
 	return out
+}
+
+// trim drops trailing zero bytes, restoring canonical form.
+func trim(b []byte) []byte {
+	n := len(b)
+	for n > 0 && b[n-1] == 0 {
+		n--
+	}
+	return b[:n]
 }
 
 // String renders the set as {e0,e3,...}.

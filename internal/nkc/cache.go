@@ -1,0 +1,91 @@
+package nkc
+
+import (
+	"fmt"
+	"sync"
+
+	"eventnet/internal/flowtable"
+)
+
+// CacheStats reports compiler-cache effectiveness for one compilation run
+// (summed across a worker pool by internal/ets).
+type CacheStats struct {
+	// TableHits/TableMisses count whole-configuration lookups keyed by
+	// guard signature: a hit means a state's entire table set was reused
+	// from an earlier state with the same projected policy.
+	TableHits, TableMisses int64
+	// SegmentHits/SegmentMisses count per-segment FDD lookups keyed by
+	// (segment, guard signature): a hit means a link-free strand segment
+	// skipped ToFDD entirely because no guard inside it changed.
+	SegmentHits, SegmentMisses int64
+	// Strands is the number of distinct symbolic strand executions
+	// performed (the hop-cache population); FDDNodes is the hash-consed
+	// node-store size. Both grow monotonically and are bounded by the
+	// program's structural variety, not by the number of states compiled —
+	// the eviction-free growth bound checked by the cache tests.
+	Strands  int64
+	FDDNodes int64
+}
+
+// Add merges per-worker stats into s: hit/miss counters are disjoint
+// and sum, while Strands and FDDNodes are per-context *store sizes* —
+// worker contexts duplicate shared structure rather than partition it —
+// so merging takes the largest store instead of summing duplicates.
+func (s *CacheStats) Add(o CacheStats) {
+	s.TableHits += o.TableHits
+	s.TableMisses += o.TableMisses
+	s.SegmentHits += o.SegmentHits
+	s.SegmentMisses += o.SegmentMisses
+	if o.Strands > s.Strands {
+		s.Strands = o.Strands
+	}
+	if o.FDDNodes > s.FDDNodes {
+		s.FDDNodes = o.FDDNodes
+	}
+}
+
+// String renders the stats compactly.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("tables %d/%d hit, segments %d/%d hit, %d strands, %d fdd nodes",
+		s.TableHits, s.TableHits+s.TableMisses,
+		s.SegmentHits, s.SegmentHits+s.SegmentMisses,
+		s.Strands, s.FDDNodes)
+}
+
+// SharedCache is a concurrency-safe cache of compiled table sets, keyed by
+// guard signature. One FDDCtx is single-goroutine by design; a pool of
+// per-worker compilers instead shares results at the table level through
+// this cache, which is the compiler-pool-safe layer of the incremental
+// pipeline: workers publish immutable flowtable.Tables values and race
+// only on sync.Map operations. A SharedCache is scoped to one
+// (program, topology) pair — internal/ets creates a fresh one per build.
+type SharedCache struct {
+	tables sync.Map // guard signature -> flowtable.Tables (immutable)
+}
+
+// NewSharedCache returns an empty shared cache.
+func NewSharedCache() *SharedCache { return &SharedCache{} }
+
+// lookup returns the cached tables for a signature.
+func (sc *SharedCache) lookup(sig string) (flowtable.Tables, bool) {
+	v, ok := sc.tables.Load(sig)
+	if !ok {
+		return nil, false
+	}
+	return v.(flowtable.Tables), true
+}
+
+// publish stores tables for a signature, returning the canonical value
+// (the first publication wins, so concurrent workers converge on one
+// shared instance).
+func (sc *SharedCache) publish(sig string, t flowtable.Tables) flowtable.Tables {
+	v, _ := sc.tables.LoadOrStore(sig, t)
+	return v.(flowtable.Tables)
+}
+
+// Len returns the number of distinct configurations cached.
+func (sc *SharedCache) Len() int {
+	n := 0
+	sc.tables.Range(func(any, any) bool { n++; return true })
+	return n
+}

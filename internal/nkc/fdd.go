@@ -228,6 +228,14 @@ func NewFDDCtx() *FDDCtx {
 	return c
 }
 
+// NodeCount returns the number of nodes interned so far — the size of the
+// hash-consed node store, reported by CacheStats.
+func (c *FDDCtx) NodeCount() int { return c.nextID }
+
+// StrandCount returns the number of distinct symbolic strand executions
+// memoized so far.
+func (c *FDDCtx) StrandCount() int { return len(c.hopCache) }
+
 // internAction canonicalizes an assignment map.
 func (c *FDDCtx) internAction(sets map[string]int) *Action {
 	fs := make([]string, 0, len(sets))

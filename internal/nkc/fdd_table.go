@@ -198,34 +198,43 @@ func compileFDDCtx(ctx *FDDCtx, p netkat.Policy, t *topo.Topology) (flowtable.Ta
 			}
 			fdds[i] = d
 		}
-		// Symbolic execution is a pure function of the segment diagrams,
-		// the link skeleton, and the switch set; memoize it so compiles
-		// sharing this context (e.g. the per-state configurations of one
-		// program) pay for each distinct strand once.
-		key := strandCacheKey(fdds, s.Links, t.Switches)
-		hs, ok := ctx.hopCache[key]
-		if !ok {
-			segs := make([]PathSet, len(fdds))
-			for i, d := range fdds {
-				ps, err := d.PathSet()
-				if err != nil {
-					return nil, err
-				}
-				segs[i] = ps
-			}
-			raw, err := compileStrand(Strand{Segments: segs, Links: s.Links}, t.Switches)
-			if err != nil {
-				return nil, err
-			}
-			hs = make([]cachedHop, len(raw))
-			for i, h := range raw {
-				hs[i] = cachedHop{sw: h.sw, d: ruleFDD(ctx, h.match, h.group)}
-			}
-			ctx.hopCache[key] = hs
+		hs, err := ctx.hopsFor(fdds, s.Links, t.Switches)
+		if err != nil {
+			return nil, err
 		}
 		hops = append(hops, hs...)
 	}
 	return assembleTablesFDD(ctx, hops)
+}
+
+// hopsFor runs the symbolic strand execution for one strand given its
+// segment diagrams. Execution is a pure function of the diagrams, the
+// link skeleton, and the switch set; it is memoized so compiles sharing
+// this context (e.g. the per-state configurations of one program) pay for
+// each distinct strand once.
+func (c *FDDCtx) hopsFor(fdds []*FDD, links []netkat.Link, switches []int) ([]cachedHop, error) {
+	key := strandCacheKey(fdds, links, switches)
+	hs, ok := c.hopCache[key]
+	if !ok {
+		segs := make([]PathSet, len(fdds))
+		for i, d := range fdds {
+			ps, err := d.PathSet()
+			if err != nil {
+				return nil, err
+			}
+			segs[i] = ps
+		}
+		raw, err := compileStrand(Strand{Segments: segs, Links: links}, switches)
+		if err != nil {
+			return nil, err
+		}
+		hs = make([]cachedHop, len(raw))
+		for i, h := range raw {
+			hs[i] = cachedHop{sw: h.sw, d: ruleFDD(c, h.match, h.group)}
+		}
+		c.hopCache[key] = hs
+	}
+	return hs, nil
 }
 
 // cachedHop is one per-switch hop with its prebuilt single-rule diagram.

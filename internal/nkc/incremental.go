@@ -1,0 +1,354 @@
+package nkc
+
+// Incremental (delta) compilation of Stateful NetKAT programs: the
+// per-state configurations of one program are projections of one command
+// tree that differ only in the truth values of its state guards, so the
+// expensive halves of compilation — strand extraction, per-segment FDD
+// translation, symbolic hop execution, per-switch folds, and table
+// extraction — are all shareable across states.
+//
+// A ProgramCompiler extracts the link-strand skeleton from the *stateful*
+// command tree once (it is state-independent: projection maps CUnion to
+// Union, CSeq to Seq and links to links, so the split is the same for
+// every state). Compiling a state then walks the fixed skeleton and
+// re-enters ToFDD only for segments whose guard signature — the truth
+// vector of the state tests occurring inside that segment — has not been
+// seen before; the signature lookup is the recompilation trigger.
+// Between a parent and child ETS state a segment's signature changes
+// exactly when one of its guards flipped (stateful.GuardIndex.Diff
+// exposes that delta for diagnostics and tests), so unchanged strands
+// reuse their FDDs, their symbolic execution, and their extracted
+// tables by structural key.
+// Whole configurations are additionally shared across states (and, via
+// SharedCache, across a compiler pool) by program-level signature.
+//
+// The output is byte-identical to CompileFDD on the projected policy —
+// property-tested in internal/ets — because the skeleton split commutes
+// with projection and every stage below it is deterministic.
+
+import (
+	"fmt"
+
+	"eventnet/internal/flowtable"
+	"eventnet/internal/netkat"
+	"eventnet/internal/stateful"
+	"eventnet/internal/topo"
+)
+
+// progSeg is one link-free segment of the program skeleton.
+type progSeg struct {
+	id     int
+	cmd    stateful.Cmd
+	guards *stateful.GuardIndex // state tests inside this segment
+}
+
+// progStrand is one end-to-end alternative of the program: alternating
+// link-free segments and links, len(segs) == len(links)+1.
+type progStrand struct {
+	segs  []progSeg
+	links []netkat.Link
+}
+
+// cmdNode kinds mirror linkNode over stateful.Cmd.
+type cmdNode struct {
+	kind int // lnAtom, lnLink, lnUnion, lnSeq
+	cmd  stateful.Cmd
+	link netkat.Link
+	l, r *cmdNode
+}
+
+// annotateCmdLinks reshapes a command around its links exactly as
+// annotateLinks does for projected policies (the two walks agree because
+// projection preserves union/sequence/link structure).
+func annotateCmdLinks(c stateful.Cmd) (*cmdNode, bool, error) {
+	switch q := c.(type) {
+	case stateful.CPred, stateful.CAssign:
+		return &cmdNode{kind: lnAtom, cmd: c}, true, nil
+	case stateful.CLink:
+		return &cmdNode{kind: lnLink, link: netkat.Link{Src: q.Src, Dst: q.Dst}}, false, nil
+	case stateful.CLinkState:
+		return &cmdNode{kind: lnLink, link: netkat.Link{Src: q.Src, Dst: q.Dst}}, false, nil
+	case stateful.CStar:
+		_, pure, err := annotateCmdLinks(q.P)
+		if err != nil {
+			return nil, false, err
+		}
+		if !pure {
+			return nil, false, fmt.Errorf("nkc: star over a policy containing links is outside the supported fragment")
+		}
+		return &cmdNode{kind: lnAtom, cmd: c}, true, nil
+	case stateful.CUnion:
+		l, lp, err := annotateCmdLinks(q.L)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rp, err := annotateCmdLinks(q.R)
+		if err != nil {
+			return nil, false, err
+		}
+		if lp && rp {
+			return &cmdNode{kind: lnAtom, cmd: c}, true, nil
+		}
+		return &cmdNode{kind: lnUnion, l: l, r: r}, false, nil
+	case stateful.CSeq:
+		l, lp, err := annotateCmdLinks(q.L)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rp, err := annotateCmdLinks(q.R)
+		if err != nil {
+			return nil, false, err
+		}
+		if lp && rp {
+			return &cmdNode{kind: lnAtom, cmd: c}, true, nil
+		}
+		return &cmdNode{kind: lnSeq, l: l, r: r}, false, nil
+	default:
+		return nil, false, fmt.Errorf("nkc: unknown command node %T", c)
+	}
+}
+
+// cmdElement is one strand element during extraction.
+type cmdElement struct {
+	isLink bool
+	link   netkat.Link
+	cmd    stateful.Cmd
+}
+
+// extractCmdStrands rewrites the command as a sum of program strands,
+// splitting union/sequence structure only where it contains links.
+func extractCmdStrands(c stateful.Cmd) ([]progStrand, error) {
+	root, _, err := annotateCmdLinks(c)
+	if err != nil {
+		return nil, err
+	}
+	var out []progStrand
+	var cur []cmdElement
+	segID := 0
+	var rec func(n *cmdNode, cont func() error) error
+	rec = func(n *cmdNode, cont func() error) error {
+		switch n.kind {
+		case lnAtom:
+			cur = append(cur, cmdElement{cmd: n.cmd})
+		case lnLink:
+			cur = append(cur, cmdElement{isLink: true, link: n.link})
+		case lnUnion:
+			if err := rec(n.l, cont); err != nil {
+				return err
+			}
+			return rec(n.r, cont)
+		default: // lnSeq
+			return rec(n.l, func() error { return rec(n.r, cont) })
+		}
+		err := cont()
+		cur = cur[:len(cur)-1]
+		return err
+	}
+	flush := func() error {
+		if len(out) >= maxStrands {
+			return fmt.Errorf("nkc: policy expands to more than %d strands", maxStrands)
+		}
+		s := assembleCmdStrand(cur)
+		for i := range s.segs {
+			s.segs[i].id = segID
+			segID++
+			s.segs[i].guards = stateful.CollectGuards(s.segs[i].cmd)
+		}
+		out = append(out, s)
+		return nil
+	}
+	if err := rec(root, flush); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// assembleCmdStrand coalesces consecutive link-free elements with CSeq
+// and inserts identity segments around links, mirroring
+// assembleLinkStrand so that projecting a segment yields exactly the
+// segment the policy-level split would have produced.
+func assembleCmdStrand(es []cmdElement) progStrand {
+	var s progStrand
+	var cur stateful.Cmd
+	flush := func() {
+		if cur == nil {
+			s.segs = append(s.segs, progSeg{cmd: stateful.CPred{P: stateful.PTrue{}}})
+		} else {
+			s.segs = append(s.segs, progSeg{cmd: cur})
+		}
+		cur = nil
+	}
+	for _, e := range es {
+		if e.isLink {
+			flush()
+			s.links = append(s.links, e.link)
+		} else if cur == nil {
+			cur = e.cmd
+		} else {
+			cur = stateful.CSeq{L: cur, R: e.cmd}
+		}
+	}
+	flush()
+	return s
+}
+
+// segMemoKey identifies a segment FDD: the segment plus the truth vector
+// of the state tests inside it.
+type segMemoKey struct {
+	id  int
+	sig string
+}
+
+// ProgramCompiler compiles the per-state configurations of one Stateful
+// NetKAT program incrementally. It is not safe for concurrent use; a
+// worker pool gives each worker its own ProgramCompiler and connects them
+// through one SharedCache.
+type ProgramCompiler struct {
+	cmd     stateful.Cmd
+	topo    *topo.Topology
+	backend Backend
+
+	ctx     *FDDCtx
+	strands []progStrand
+	guards  *stateful.GuardIndex // whole-program index
+
+	segMemo map[segMemoKey]*FDD
+	local   map[string]flowtable.Tables // guard signature -> tables
+	shared  *SharedCache
+
+	stats CacheStats
+}
+
+// NewProgramCompiler builds an incremental compiler for a program over a
+// topology using the default backend, optionally attached to a shared
+// cross-compiler cache (sc may be nil). The command is validated once —
+// validity is independent of the state vector, since projection only
+// replaces state tests by true/false.
+func NewProgramCompiler(c stateful.Cmd, t *topo.Topology, sc *SharedCache) (*ProgramCompiler, error) {
+	return NewProgramCompilerWith(DefaultBackend, c, t, sc)
+}
+
+// NewProgramCompilerWith builds an incremental compiler for an explicit
+// backend. The DNF backend has no delta path (it is the from-scratch
+// reference oracle): it projects and runs CompileDNF per distinct guard
+// signature, sharing only whole results through the signature cache.
+func NewProgramCompilerWith(b Backend, c stateful.Cmd, t *topo.Topology, sc *SharedCache) (*ProgramCompiler, error) {
+	pc := &ProgramCompiler{cmd: c, topo: t, backend: b, shared: sc}
+	if err := netkat.Validate(stateful.Project(c, stateful.State{})); err != nil {
+		return nil, err
+	}
+	pc.guards = stateful.CollectGuards(c)
+	pc.local = map[string]flowtable.Tables{}
+	if b == BackendDNF {
+		return pc, nil
+	}
+	strands, err := extractCmdStrands(c)
+	if err != nil {
+		return nil, err
+	}
+	pc.ctx = NewFDDCtx()
+	pc.strands = strands
+	pc.segMemo = map[segMemoKey]*FDD{}
+	return pc, nil
+}
+
+// Fork returns a compiler for use on another goroutine of a worker
+// pool: it shares this compiler's immutable program skeleton (validated
+// command, strands with their guard indexes, backend, shared cache) but
+// owns a fresh hash-consing context and memos, so the per-program
+// extraction work is paid once per pool rather than once per worker.
+func (pc *ProgramCompiler) Fork() *ProgramCompiler {
+	n := &ProgramCompiler{
+		cmd:     pc.cmd,
+		topo:    pc.topo,
+		backend: pc.backend,
+		shared:  pc.shared,
+		strands: pc.strands,
+		guards:  pc.guards,
+		local:   map[string]flowtable.Tables{},
+	}
+	if pc.backend != BackendDNF {
+		n.ctx = NewFDDCtx()
+		n.segMemo = map[segMemoKey]*FDD{}
+	}
+	return n
+}
+
+// Stats returns this compiler's cache statistics. In a pool, sum the
+// workers' stats for the run total.
+func (pc *ProgramCompiler) Stats() CacheStats {
+	s := pc.stats
+	if pc.ctx != nil {
+		s.Strands = int64(pc.ctx.StrandCount())
+		s.FDDNodes = int64(pc.ctx.NodeCount())
+	}
+	return s
+}
+
+// Compile returns the flow tables of the configuration projected at state
+// k. The result must be treated as immutable: it may be shared with other
+// states, other workers (via the SharedCache), and later calls.
+func (pc *ProgramCompiler) Compile(k stateful.State) (flowtable.Tables, error) {
+	sig := pc.guards.Sig(k)
+	if t, ok := pc.local[sig]; ok {
+		pc.stats.TableHits++
+		return t, nil
+	}
+	if pc.shared != nil {
+		if t, ok := pc.shared.lookup(sig); ok {
+			pc.stats.TableHits++
+			pc.local[sig] = t
+			return t, nil
+		}
+	}
+	pc.stats.TableMisses++
+
+	if pc.backend == BackendDNF {
+		tables, err := CompileDNF(stateful.Project(pc.cmd, k), pc.topo)
+		if err != nil {
+			return nil, err
+		}
+		if pc.shared != nil {
+			tables = pc.shared.publish(sig, tables)
+		}
+		pc.local[sig] = tables
+		return tables, nil
+	}
+
+	var hops []cachedHop
+	for si := range pc.strands {
+		s := &pc.strands[si]
+		fdds := make([]*FDD, len(s.segs))
+		for j := range s.segs {
+			seg := &s.segs[j]
+			key := segMemoKey{id: seg.id, sig: seg.guards.Sig(k)}
+			d, ok := pc.segMemo[key]
+			if !ok {
+				pc.stats.SegmentMisses++
+				var err error
+				d, err = pc.ctx.ToFDD(stateful.Project(seg.cmd, k))
+				if err != nil {
+					return nil, err
+				}
+				pc.segMemo[key] = d
+			} else {
+				pc.stats.SegmentHits++
+			}
+			fdds[j] = d
+		}
+		hs, err := pc.ctx.hopsFor(fdds, s.links, pc.topo.Switches)
+		if err != nil {
+			return nil, err
+		}
+		hops = append(hops, hs...)
+	}
+	tables, err := assembleTablesFDD(pc.ctx, hops)
+	if err != nil {
+		return nil, err
+	}
+	if pc.shared != nil {
+		tables = pc.shared.publish(sig, tables)
+	}
+	pc.local[sig] = tables
+	return tables, nil
+}

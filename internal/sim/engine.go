@@ -19,6 +19,7 @@ import (
 	"container/heap"
 	"math/rand"
 
+	"eventnet/internal/nes"
 	"eventnet/internal/netkat"
 	"eventnet/internal/topo"
 	"eventnet/internal/trace"
@@ -60,10 +61,12 @@ func DefaultParams() Params {
 }
 
 // Meta is the per-packet metadata a data plane attaches (the tag and
-// digest of Section 4.1; unused by the uncoordinated plane).
+// digest of Section 4.1; unused by the uncoordinated plane). The digest
+// is an event-set bitmask of whatever width the NES's event universe
+// needs (nes.Set), so programs are not limited to 64 events.
 type Meta struct {
 	Version int
-	Digest  uint64
+	Digest  nes.Set
 }
 
 // Out is one packet a data plane emits from a switch.

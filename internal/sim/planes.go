@@ -54,7 +54,7 @@ func (p *TaggedPlane) DiscoveryTime(sw, event int) (float64, bool) {
 // learn unions events into a switch's view, recording discovery times.
 func (p *TaggedPlane) learn(s *Sim, sw int, events nes.Set) {
 	cur := p.views[sw]
-	fresh := events &^ cur
+	fresh := events.Minus(cur)
 	if fresh == nes.Empty {
 		return
 	}
@@ -87,12 +87,12 @@ func (p *TaggedPlane) gAt(e nes.Set) int {
 
 // Inject implements Plane: the IN rule's tag stamping.
 func (p *TaggedPlane) Inject(_ *Sim, sw int, _ netkat.Packet) Meta {
-	return Meta{Version: p.gAt(p.views[sw]), Digest: 0}
+	return Meta{Version: p.gAt(p.views[sw]), Digest: nes.Empty}
 }
 
 // Process implements Plane: the SWITCH rule.
 func (p *TaggedPlane) Process(s *Sim, sw, inPort int, fields netkat.Packet, meta Meta) []Out {
-	digest := nes.Set(meta.Digest)
+	digest := meta.Digest
 	p.learn(s, sw, digest)
 	known := p.views[sw].Union(digest)
 	lp := netkat.LocatedPacket{Pkt: fields, Loc: netkat.Location{Switch: sw, Port: inPort}}
@@ -128,7 +128,7 @@ func (p *TaggedPlane) Process(s *Sim, sw, inPort int, fields netkat.Packet, meta
 		outs = append(outs, Out{
 			Fields: o.Pkt,
 			Port:   o.Port,
-			Meta:   Meta{Version: meta.Version, Digest: uint64(outDigest)},
+			Meta:   Meta{Version: meta.Version, Digest: outDigest},
 		})
 	}
 	return outs

@@ -1,0 +1,106 @@
+package stateful
+
+import "sort"
+
+// GuardTest is one state test state(Index) = Value occurring in a program.
+type GuardTest struct {
+	Index, Value int
+}
+
+// GuardIndex is the set of distinct state tests occurring in a command,
+// in canonical order. Projection ⟦p⟧k resolves exactly these tests against
+// the state vector (and changes nothing else), so two states with equal
+// truth vectors over the index project to structurally identical NetKAT
+// policies — the key fact behind cross-state configuration reuse: the
+// compiler caches per-state artifacts by Sig instead of by state vector,
+// and a state re-enters compilation only for the sub-policies whose
+// guards actually flipped (Diff) relative to an already-compiled state.
+type GuardIndex struct {
+	tests []GuardTest
+}
+
+// CollectGuards builds the guard index of a command: every distinct
+// state(Index) = Value test in its predicates (including under negation).
+func CollectGuards(c Cmd) *GuardIndex {
+	set := map[GuardTest]bool{}
+	var walkPred func(Pred)
+	walkPred = func(p Pred) {
+		switch q := p.(type) {
+		case PState:
+			set[GuardTest{Index: q.Index, Value: q.Value}] = true
+		case PNot:
+			walkPred(q.P)
+		case PAnd:
+			walkPred(q.L)
+			walkPred(q.R)
+		case POr:
+			walkPred(q.L)
+			walkPred(q.R)
+		}
+	}
+	var walk func(Cmd)
+	walk = func(c Cmd) {
+		switch q := c.(type) {
+		case CPred:
+			walkPred(q.P)
+		case CUnion:
+			walk(q.L)
+			walk(q.R)
+		case CSeq:
+			walk(q.L)
+			walk(q.R)
+		case CStar:
+			walk(q.P)
+		}
+	}
+	walk(c)
+	g := &GuardIndex{tests: make([]GuardTest, 0, len(set))}
+	for t := range set {
+		g.tests = append(g.tests, t)
+	}
+	sort.Slice(g.tests, func(i, j int) bool {
+		if g.tests[i].Index != g.tests[j].Index {
+			return g.tests[i].Index < g.tests[j].Index
+		}
+		return g.tests[i].Value < g.tests[j].Value
+	})
+	return g
+}
+
+// Len returns the number of distinct state tests.
+func (g *GuardIndex) Len() int { return len(g.tests) }
+
+// Tests returns the tests in canonical order.
+func (g *GuardIndex) Tests() []GuardTest { return append([]GuardTest{}, g.tests...) }
+
+// Sig returns the truth vector of the indexed tests under state k, packed
+// 8 tests per byte. States with equal signatures have structurally
+// identical projections, so Sig is a sound (and, over reachable states,
+// cheap) cache key for every projection-derived artifact.
+func (g *GuardIndex) Sig(k State) string {
+	if len(g.tests) == 0 {
+		return ""
+	}
+	b := make([]byte, (len(g.tests)+7)/8)
+	for i, t := range g.tests {
+		if k.Get(t.Index) == t.Value {
+			b[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return string(b)
+}
+
+// Diff returns the tests whose truth value differs between states a and
+// b — the guard delta behind a segment's signature change when moving
+// along an ETS edge. The compiler itself triggers recompilation by
+// signature lookup (Sig); Diff is the diagnostic view of the same fact,
+// used by tests to pin Sig's semantics.
+func (g *GuardIndex) Diff(a, b State) []GuardTest {
+	var out []GuardTest
+	for _, t := range g.tests {
+		if (a.Get(t.Index) == t.Value) != (b.Get(t.Index) == t.Value) {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package stateful
+
+import (
+	"reflect"
+	"testing"
+)
+
+func guardProg() Cmd {
+	return UnionC(
+		SeqC(CPred{P: PState{Index: 0, Value: 0}}, CAssign{Field: "x", Value: 1}),
+		SeqC(CPred{P: PNot{P: PState{Index: 1, Value: 2}}}, CAssign{Field: "x", Value: 2}),
+		CStar{P: CPred{P: PAnd{L: PState{Index: 0, Value: 3}, R: PTest{Field: "y", Value: 1}}}},
+	)
+}
+
+func TestCollectGuards(t *testing.T) {
+	g := CollectGuards(guardProg())
+	want := []GuardTest{{0, 0}, {0, 3}, {1, 2}}
+	if !reflect.DeepEqual(g.Tests(), want) {
+		t.Fatalf("tests: %v", g.Tests())
+	}
+	if g.Len() != 3 {
+		t.Fatalf("len: %d", g.Len())
+	}
+	if CollectGuards(CAssign{Field: "x", Value: 1}).Len() != 0 {
+		t.Fatal("state-free command has guards")
+	}
+}
+
+// TestSigProjectionInvariant: equal signatures imply structurally equal
+// projections — the soundness condition for every signature-keyed cache.
+func TestSigProjectionInvariant(t *testing.T) {
+	c := guardProg()
+	g := CollectGuards(c)
+	states := []State{{0, 0}, {0, 2}, {3, 1}, {1, 2}, {0, 5}, {9, 9}, {3, 2}}
+	for _, a := range states {
+		for _, b := range states {
+			sameSig := g.Sig(a) == g.Sig(b)
+			sameProj := reflect.DeepEqual(Project(c, a), Project(c, b))
+			if sameSig != sameProj {
+				t.Fatalf("states %v/%v: sameSig=%v sameProj=%v", a, b, sameSig, sameProj)
+			}
+			if sameSig != (len(g.Diff(a, b)) == 0) {
+				t.Fatalf("states %v/%v: Diff disagrees with Sig", a, b)
+			}
+		}
+	}
+}
+
+func TestGuardDiff(t *testing.T) {
+	g := CollectGuards(guardProg())
+	// [0,x] -> [3,x]: state(0)=0 flips off, state(0)=3 flips on.
+	d := g.Diff(State{0, 7}, State{3, 7})
+	if !reflect.DeepEqual(d, []GuardTest{{0, 0}, {0, 3}}) {
+		t.Fatalf("diff: %v", d)
+	}
+	if g.Diff(State{0, 1}, State{0, 1}) != nil {
+		t.Fatal("self diff nonempty")
+	}
+	// Flipping index 1 to the tested value 2 changes only that test.
+	d = g.Diff(State{0, 1}, State{0, 2})
+	if !reflect.DeepEqual(d, []GuardTest{{1, 2}}) {
+		t.Fatalf("diff: %v", d)
+	}
+}
+
+func TestSigPacking(t *testing.T) {
+	// More than 8 tests exercises multi-byte packing.
+	var cs []Cmd
+	for i := 0; i < 12; i++ {
+		cs = append(cs, CPred{P: PState{Index: i, Value: 1}})
+	}
+	g := CollectGuards(UnionC(cs...))
+	if g.Len() != 12 {
+		t.Fatalf("len: %d", g.Len())
+	}
+	all := make(State, 12)
+	for i := range all {
+		all[i] = 1
+	}
+	if g.Sig(all) == g.Sig(State{}) {
+		t.Fatal("distinct truth vectors share a signature")
+	}
+	if len(g.Sig(all)) != 2 {
+		t.Fatalf("12 tests should pack into 2 bytes, got %d", len(g.Sig(all)))
+	}
+}

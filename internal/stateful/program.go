@@ -12,8 +12,9 @@ type Program struct {
 	Init State
 }
 
-// maxStates bounds reachable-state enumeration.
-const maxStates = 4096
+// MaxStates bounds reachable-state enumeration, here and in the sharded
+// explorer of internal/ets.
+const MaxStates = 4096
 
 // ReachableStates explores the state space from the initial vector via the
 // program's event-edges, returning the reachable states in BFS order and
@@ -41,8 +42,8 @@ func (p Program) ReachableStates() ([]State, []Edge, error) {
 				seen[e.To.Key()] = true
 				order = append(order, e.To.Clone())
 				queue = append(queue, e.To.Clone())
-				if len(order) > maxStates {
-					return nil, nil, fmt.Errorf("stateful: more than %d reachable states", maxStates)
+				if len(order) > MaxStates {
+					return nil, nil, fmt.Errorf("stateful: more than %d reachable states", MaxStates)
 				}
 			}
 		}

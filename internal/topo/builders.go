@@ -1,6 +1,10 @@
 package topo
 
-import "eventnet/internal/netkat"
+import (
+	"fmt"
+
+	"eventnet/internal/netkat"
+)
 
 // Host node IDs are offset well above switch IDs so they never collide.
 const hostIDBase = 100
@@ -54,6 +58,91 @@ func Star() *Topology {
 	t.AddHost(HostID(3), "H3", loc(3, 2))
 	t.AddHost(HostID(4), "H4", loc(4, 2))
 	return t
+}
+
+// FatTree builds a k-ary fat-tree (Al-Fahres/leaf-spine style data-center
+// fabric): (k/2)^2 core switches, k pods of k/2 aggregation and k/2 edge
+// switches, and k/2 hosts per edge switch (k^3/4 hosts total, named
+// H1..Hn in pod order). Port conventions: on an edge switch, ports
+// 1..k/2 face hosts and k/2+1..k face aggregation; on an aggregation
+// switch, ports 1..k/2 face edges and k/2+1..k face cores; on a core
+// switch, port p+1 faces pod p. k must be even, and small enough that
+// switch IDs stay below the host-ID base (k <= 8).
+func FatTree(k int) *Topology {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: fat-tree arity %d is not a positive even number", k))
+	}
+	half := k / 2
+	core := half * half
+	if core+k*k >= hostIDBase {
+		panic(fmt.Sprintf("topo: fat-tree arity %d needs %d switch IDs, colliding with host IDs", k, core+k*k))
+	}
+	// Switch numbering: cores 1..core, then per pod p (0-based) the
+	// aggregation switches core+p*k+1..core+p*k+half followed by the edge
+	// switches core+p*k+half+1..core+(p+1)*k.
+	aggID := func(p, i int) int { return core + p*k + 1 + i }
+	edgeID := func(p, j int) int { return core + p*k + half + 1 + j }
+	t := New()
+	for s := 1; s <= core+k*k; s++ {
+		t.AddSwitch(s)
+	}
+	host := 1
+	for p := 0; p < k; p++ {
+		for j := 0; j < half; j++ {
+			e := edgeID(p, j)
+			// Edge <-> aggregation.
+			for i := 0; i < half; i++ {
+				t.AddBiLink(loc(e, half+1+i), loc(aggID(p, i), 1+j))
+			}
+			// Hosts.
+			for h := 0; h < half; h++ {
+				t.AddHost(HostID(host), fmt.Sprintf("H%d", host), loc(e, 1+h))
+				host++
+			}
+		}
+		// Aggregation <-> core: aggregation i serves cores i*half+1..(i+1)*half.
+		for i := 0; i < half; i++ {
+			for m := 0; m < half; m++ {
+				t.AddBiLink(loc(aggID(p, i), half+1+m), loc(i*half+m+1, p+1))
+			}
+		}
+	}
+	return t
+}
+
+// ShortestPath returns a minimum-hop chain of switch-to-switch links from
+// switch `from` to switch `to` (BFS over the link list in declaration
+// order, so the chosen path is deterministic). The second result is false
+// when no path exists; a switch's path to itself is the empty chain.
+func (t *Topology) ShortestPath(from, to int) ([]Link, bool) {
+	if from == to {
+		return nil, true
+	}
+	prev := map[int]Link{} // switch -> link that first reached it
+	seen := map[int]bool{from: true}
+	frontier := []int{from}
+	for len(frontier) > 0 {
+		var next []int
+		for _, sw := range frontier {
+			for _, lk := range t.Links {
+				if lk.Src.Switch != sw || seen[lk.Dst.Switch] {
+					continue
+				}
+				seen[lk.Dst.Switch] = true
+				prev[lk.Dst.Switch] = lk
+				if lk.Dst.Switch == to {
+					var path []Link
+					for at := to; at != from; at = prev[at].Src.Switch {
+						path = append([]Link{prev[at]}, path...)
+					}
+					return path, true
+				}
+				next = append(next, lk.Dst.Switch)
+			}
+		}
+		frontier = next
+	}
+	return nil, false
 }
 
 // Ring builds the synthetic ring of Section 5.2 with the given diameter

@@ -107,3 +107,57 @@ func TestHostLocs(t *testing.T) {
 		}
 	}
 }
+
+func TestFatTree(t *testing.T) {
+	k := 4
+	tp := FatTree(k)
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	core := (k / 2) * (k / 2)
+	if got, want := len(tp.Switches), core+k*k; got != want {
+		t.Fatalf("switches: %d want %d", got, want)
+	}
+	if got, want := len(tp.Hosts), k*k*k/4; got != want {
+		t.Fatalf("hosts: %d want %d", got, want)
+	}
+	// A k-ary fat-tree has k^3/4 edge-agg and k^3/4 agg-core bidirectional
+	// pairs: k^3 unidirectional links.
+	if got, want := len(tp.Links), k*k*k; got != want {
+		t.Fatalf("links: %d want %d", got, want)
+	}
+	// Every host pair is connected by a path, and intra-pod paths are
+	// shorter than inter-pod ones.
+	h1, _ := tp.HostByName("H1")
+	h2, _ := tp.HostByName("H2")   // same edge switch
+	h3, _ := tp.HostByName("H3")   // same pod, other edge
+	h16, _ := tp.HostByName("H16") // other pod
+	if p, ok := tp.ShortestPath(h1.Attach.Switch, h2.Attach.Switch); !ok || len(p) != 0 {
+		t.Fatalf("same-edge path: %v %v", p, ok)
+	}
+	if p, ok := tp.ShortestPath(h1.Attach.Switch, h3.Attach.Switch); !ok || len(p) != 2 {
+		t.Fatalf("intra-pod path: %v %v", p, ok)
+	}
+	p, ok := tp.ShortestPath(h1.Attach.Switch, h16.Attach.Switch)
+	if !ok || len(p) != 4 {
+		t.Fatalf("inter-pod path: %v %v", p, ok)
+	}
+	// The path is a connected chain of real links.
+	for i := 1; i < len(p); i++ {
+		if p[i].Src.Switch != p[i-1].Dst.Switch {
+			t.Fatalf("path not a chain: %v", p)
+		}
+	}
+}
+
+func TestShortestPathNoRoute(t *testing.T) {
+	tp := New()
+	tp.AddSwitch(1)
+	tp.AddSwitch(2)
+	if _, ok := tp.ShortestPath(1, 2); ok {
+		t.Fatal("found a path in a disconnected graph")
+	}
+	if p, ok := tp.ShortestPath(1, 1); !ok || p != nil {
+		t.Fatal("self path should be the empty chain")
+	}
+}
