@@ -1,14 +1,17 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation (Section 5) and prints them in order, plus the scale sweep
-// opened by the incremental compilation pipeline. Use -quick for a
-// reduced Figure 10 sweep and smaller ring diameters, and -json for
-// machine-readable output (one JSON object per line, suitable for
-// tracking the benchmark trajectory across PRs — see docs/BENCHMARKS.md).
+// opened by the incremental compilation pipeline and the dataplane
+// throughput comparison (compiled indexed matchers vs linear scan). Use
+// -quick for a reduced Figure 10 sweep, smaller ring diameters, and a
+// shorter throughput stream, and -json for machine-readable output (one
+// JSON object per line, suitable for tracking the benchmark trajectory
+// across PRs — see docs/BENCHMARKS.md).
 //
 //	experiments                  # full reproduction (a few minutes)
 //	experiments -quick           # seconds
 //	experiments -only fig14,fig17
 //	experiments -json -only scale
+//	experiments -json -only throughput
 package main
 
 import (
@@ -70,7 +73,7 @@ func emit(name string, v any) {
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
-	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables, scale")
+	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables, scale, throughput")
 	flag.BoolVar(&asJSON, "json", false, "emit one JSON object per experiment instead of text")
 	flag.Parse()
 
@@ -88,6 +91,13 @@ func main() {
 	}
 	if sel("scale") {
 		emit("scale", exp.TableCompileScale())
+	}
+	if sel("throughput") {
+		probes := 2000000
+		if *quick {
+			probes = 200000
+		}
+		emit("throughput", exp.Throughput(probes))
 	}
 	if sel("fig10") {
 		if *quick {

@@ -1,0 +1,86 @@
+package dataplane_test
+
+import (
+	"fmt"
+	"testing"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/dataplane"
+	"eventnet/internal/flowtable"
+)
+
+// BenchmarkMatcherThroughput is the headline comparison: forwarding a
+// seeded probe stream through the merged (all-configurations,
+// version-guarded) tables, indexed vs linear scan. docs/BENCHMARKS.md
+// records the derived packets/sec and speedups; exp.Throughput emits the
+// same comparison as an experiment row.
+func BenchmarkMatcherThroughput(b *testing.B) {
+	for _, a := range []apps.App{apps.Firewall(), apps.BandwidthCap(40), apps.BandwidthCap(200), apps.IDSFatTree(4)} {
+		n := buildNES(b, a)
+		merged := dataplane.Merged(n)
+		lg := dataplane.NewLoadGen(n, a.Topo, 11)
+		indexed := map[int]dataplane.Matcher{}
+		scan := map[int]dataplane.Matcher{}
+		rules := 0
+		for _, sw := range merged.Switches() {
+			indexed[sw] = dataplane.Compile(merged[sw])
+			scan[sw] = dataplane.Scan{Table: merged[sw]}
+			rules += merged[sw].Len()
+		}
+		// Keep only probes at switches that install rules (fabric switches
+		// off every route drop everything; both matchers would no-op).
+		var probes []dataplane.Probe
+		for _, p := range lg.Probes(8192) {
+			if indexed[p.Switch] != nil {
+				probes = append(probes, p)
+			}
+		}
+		run := func(ms map[int]dataplane.Matcher) func(*testing.B) {
+			return func(b *testing.B) {
+				var buf []flowtable.Output
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p := &probes[i%len(probes)]
+					buf = ms[p.Switch].Process(buf[:0], p.Fields, p.InPort, p.Tag)
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("%s-%drules/indexed", a.Name, rules), run(indexed))
+		b.Run(fmt.Sprintf("%s-%drules/scan", a.Name, rules), run(scan))
+	}
+}
+
+// BenchmarkEngineForward measures end-to-end engine forwarding (inject a
+// batch, run to quiescence) per worker count. ns/op divided by the
+// reported hops/op gives per-hop cost; hops/op is stable because the
+// workload is seeded.
+func BenchmarkEngineForward(b *testing.B) {
+	a := apps.BandwidthCap(40)
+	n := buildNES(b, a)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			lg := dataplane.NewLoadGen(n, a.Topo, 13)
+			batch := lg.Injections(256)
+			var hops int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Fresh engine per iteration (outside the timed region), so
+				// every iteration forwards the identical workload from the
+				// initial views and deliveries do not accumulate.
+				b.StopTimer()
+				e := dataplane.NewEngine(n, a.Topo, dataplane.Options{Workers: workers})
+				b.StartTimer()
+				for _, in := range batch {
+					if err := e.Inject(in.Host, in.Fields); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+				hops += e.Processed()
+			}
+			b.ReportMetric(float64(hops)/float64(b.N), "hops/op")
+		})
+	}
+}

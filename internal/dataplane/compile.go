@@ -1,0 +1,234 @@
+package dataplane
+
+import (
+	"sort"
+
+	"eventnet/internal/flowtable"
+	"eventnet/internal/netkat"
+)
+
+// CompiledTable is a flow table compiled into an indexed matcher.
+//
+// Rules are sliced three ways, mirroring how a packet narrows the search:
+//
+//  1. Version-guard partition: rules are grouped by guard mask, and within
+//     a mask by their masked value, so a packet's tag selects the (at most
+//     one per mask) group of rules whose guards admit it — an O(#masks)
+//     step instead of a per-rule guard check. Compiled per-configuration
+//     tables have a single all-pass group; merged Section 5.3 tables have
+//     one group per configuration.
+//  2. In-port: within a group, rules split into exact-port buckets plus
+//     one wildcard bucket (whose ExcludePorts are verified per rule).
+//  3. Discriminating fields: within a bucket, the compiler picks the
+//     equality-tested fields shared by all rules (or, failing that, the
+//     single most-tested field) and hashes rules by their required values.
+//     Rules not constraining the chosen fields form a small rank-ordered
+//     fallback list — the decision-tree residue for wildcard/exclusion
+//     rules.
+//
+// Lookup hashes the packet's values for each candidate bucket's key
+// fields (integer FNV mixing — no per-packet maps or strings), then
+// rank-merges the hash hits with the fallback list, fully verifying each
+// candidate with flowtable.Match.Matches so indexing can never change
+// semantics, only skip rules that provably cannot win.
+type CompiledTable struct {
+	rules []flowtable.Rule // priority order; rank = index
+	parts []guardPart      // ascending mask
+}
+
+// guardPart is one guard-mask partition.
+type guardPart struct {
+	mask   uint32
+	groups map[uint32]*portIndex // masked guard value -> rules
+}
+
+// portIndex splits a guard group by ingress port.
+type portIndex struct {
+	byPort map[int]*bucket
+	wild   *bucket // InPort == Wildcard rules, or nil
+}
+
+// bucket indexes the rules of one (guard group, in-port) cell.
+type bucket struct {
+	keyFields []string           // nil: no index, everything in fallback
+	index     map[uint64][]int32 // value hash -> ranks, ascending
+	fallback  []int32            // ranks, ascending
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashFields folds the packet's values of the key fields into one hash.
+// The second result is false when the packet lacks a key field — in which
+// case no indexed rule can match, since every indexed rule tests all key
+// fields for equality and an absent field fails an equality match (the
+// exact semantics of flowtable.Match.Matches).
+func hashFields(pkt netkat.Packet, keyFields []string) (uint64, bool) {
+	h := uint64(fnvOffset64)
+	for _, f := range keyFields {
+		v, ok := pkt[f]
+		if !ok {
+			return 0, false
+		}
+		h ^= uint64(uint32(v))
+		h *= fnvPrime64
+	}
+	return h, true
+}
+
+// Compile builds the indexed matcher for one switch's table. The table's
+// rules are copied, so later table mutation does not affect the matcher.
+func Compile(t *flowtable.Table) *CompiledTable {
+	ct := &CompiledTable{rules: append([]flowtable.Rule{}, t.Rules...)}
+
+	// 1. Guard partition.
+	type cellKey struct {
+		mask, value uint32
+		port        int // flowtable.Wildcard for the wildcard bucket
+	}
+	cells := map[cellKey][]int32{}
+	for i := range ct.rules {
+		m := &ct.rules[i].Match
+		k := cellKey{mask: m.Guard.Mask, value: m.Guard.Value & m.Guard.Mask, port: m.InPort}
+		cells[k] = append(cells[k], int32(i))
+	}
+
+	partByMask := map[uint32]*guardPart{}
+	for k, ranks := range cells {
+		p := partByMask[k.mask]
+		if p == nil {
+			p = &guardPart{mask: k.mask, groups: map[uint32]*portIndex{}}
+			partByMask[k.mask] = p
+		}
+		g := p.groups[k.value]
+		if g == nil {
+			g = &portIndex{byPort: map[int]*bucket{}}
+			p.groups[k.value] = g
+		}
+		b := buildBucket(ct.rules, ranks)
+		if k.port == flowtable.Wildcard {
+			g.wild = b
+		} else {
+			g.byPort[k.port] = b
+		}
+	}
+	for _, p := range partByMask {
+		ct.parts = append(ct.parts, *p)
+	}
+	sort.Slice(ct.parts, func(i, j int) bool { return ct.parts[i].mask < ct.parts[j].mask })
+	return ct
+}
+
+// buildBucket picks the bucket's discriminating fields and hashes its
+// rules by them. ranks arrive ascending (rules were walked in order).
+func buildBucket(rules []flowtable.Rule, ranks []int32) *bucket {
+	b := &bucket{}
+
+	// Fields equality-tested by every rule in the bucket.
+	freq := map[string]int{}
+	for _, r := range ranks {
+		for f := range rules[r].Match.Fields {
+			freq[f]++
+		}
+	}
+	var shared []string
+	best, bestN := "", 0
+	for f, n := range freq {
+		if n == len(ranks) {
+			shared = append(shared, f)
+		}
+		if n > bestN || (n == bestN && (best == "" || f < best)) {
+			best, bestN = f, n
+		}
+	}
+	switch {
+	case len(shared) > 0:
+		sort.Strings(shared)
+		b.keyFields = shared
+	case bestN > 0:
+		b.keyFields = []string{best}
+	default:
+		// No rule tests any field: pure port/guard/exclusion rules.
+		b.fallback = ranks
+		return b
+	}
+
+	b.index = map[uint64][]int32{}
+	for _, r := range ranks {
+		// A rule's index key is the hash of its required values — the same
+		// fold a matching packet's values produce. A rule missing a key
+		// field is not indexable and scans from the fallback list.
+		if h, ok := hashFields(netkat.Packet(rules[r].Match.Fields), b.keyFields); ok {
+			b.index[h] = append(b.index[h], r)
+		} else {
+			b.fallback = append(b.fallback, r)
+		}
+	}
+	return b
+}
+
+// bestIn scans the bucket's candidates for the packet and returns the
+// lowest matching rank below bound, or bound if none beats it. Candidate
+// lists are rank-ascending, so each list is scanned only until its first
+// full match (or past bound).
+func (b *bucket) bestIn(rules []flowtable.Rule, pkt netkat.Packet, inPort int, tag uint32, bound int32) int32 {
+	if b == nil {
+		return bound
+	}
+	if b.keyFields != nil {
+		if h, ok := hashFields(pkt, b.keyFields); ok {
+			for _, r := range b.index[h] {
+				if r >= bound {
+					break
+				}
+				if rules[r].Match.Matches(pkt, inPort, tag) {
+					bound = r
+					break
+				}
+			}
+		}
+	}
+	for _, r := range b.fallback {
+		if r >= bound {
+			break
+		}
+		if rules[r].Match.Matches(pkt, inPort, tag) {
+			bound = r
+			break
+		}
+	}
+	return bound
+}
+
+// Lookup implements Matcher: the winning rule is the minimum-rank match
+// over every bucket the packet's tag and in-port select.
+func (c *CompiledTable) Lookup(pkt netkat.Packet, inPort int, tag uint32) (*flowtable.Rule, bool) {
+	best := int32(len(c.rules))
+	for pi := range c.parts {
+		p := &c.parts[pi]
+		g := p.groups[tag&p.mask]
+		if g == nil {
+			continue
+		}
+		best = g.byPort[inPort].bestIn(c.rules, pkt, inPort, tag, best)
+		best = g.wild.bestIn(c.rules, pkt, inPort, tag, best)
+	}
+	if best == int32(len(c.rules)) {
+		return nil, false
+	}
+	return &c.rules[best], true
+}
+
+// Process implements Matcher.
+func (c *CompiledTable) Process(dst []flowtable.Output, pkt netkat.Packet, inPort int, tag uint32) []flowtable.Output {
+	r, ok := c.Lookup(pkt, inPort, tag)
+	if !ok {
+		return dst
+	}
+	return r.AppendApply(dst, pkt)
+}
+
+// Len implements Matcher.
+func (c *CompiledTable) Len() int { return len(c.rules) }

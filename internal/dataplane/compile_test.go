@@ -1,0 +1,325 @@
+package dataplane_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/dataplane"
+	"eventnet/internal/ets"
+	"eventnet/internal/flowtable"
+	"eventnet/internal/nes"
+	"eventnet/internal/netkat"
+	"eventnet/internal/nkc"
+	"eventnet/internal/stateful"
+	"eventnet/internal/topo"
+)
+
+// propApps is the property-test application set: the paper five plus the
+// ring and every extension app.
+func propApps() []apps.App {
+	out := apps.All()
+	out = append(out, apps.Ring(3), apps.WalledGarden(), apps.DistributedFirewall(), apps.IDSFatTree(4))
+	return out
+}
+
+func buildNES(t testing.TB, a apps.App) *nes.NES {
+	t.Helper()
+	e, err := ets.Build(a.Prog, a.Topo)
+	if err != nil {
+		t.Fatalf("%s: ets.Build: %v", a.Name, err)
+	}
+	n, err := e.ToNES()
+	if err != nil {
+		t.Fatalf("%s: ToNES: %v", a.Name, err)
+	}
+	return n
+}
+
+// sameOutputs compares two output sequences exactly: the same winning
+// rule must fire, so order and contents coincide.
+func sameOutputs(a, b []flowtable.Output) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Port != b[i].Port || !a[i].Pkt.Equal(b[i].Pkt) {
+			return false
+		}
+	}
+	return true
+}
+
+// randProbe draws a packet/port/tag triple from the app's plausible value
+// universe: host addresses plus small integers, over the fields the
+// applications test.
+func randProbe(r *rand.Rand, hosts []int) (netkat.Packet, int, uint32) {
+	vals := append([]int{0, 1, 2}, hosts...)
+	pkt := netkat.Packet{}
+	for _, f := range []string{"dst", "src", "sig", "kind"} {
+		if r.Intn(3) > 0 {
+			pkt[f] = vals[r.Intn(len(vals))]
+		}
+	}
+	tag := uint32(0)
+	if r.Intn(4) == 0 {
+		tag = uint32(r.Intn(8))
+	}
+	return pkt, r.Intn(6), tag
+}
+
+func hostAddrs(tp *topo.Topology) []int {
+	var out []int
+	for _, lk := range tp.AllLinks() {
+		if h, ok := tp.HostByID(lk.Dst.Switch); ok {
+			out = append(out, h.ID)
+		}
+	}
+	return out
+}
+
+// TestMatcherEquivalence is the core acceptance property: on every
+// reachable state of every application, for randomized packets, in-ports
+// and tags, the compiled matcher's outputs are identical to the linear
+// scan of the same table.
+func TestMatcherEquivalence(t *testing.T) {
+	for _, a := range propApps() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			states, _, err := a.Prog.ReachableStates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts := hostAddrs(a.Topo)
+			r := rand.New(rand.NewSource(23))
+			for _, st := range states {
+				pol := stateful.Project(a.Prog.Cmd, st)
+				tables, err := nkc.Compile(pol, a.Topo)
+				if err != nil {
+					t.Fatalf("state %v: %v", st, err)
+				}
+				for _, sw := range tables.Switches() {
+					tbl := tables[sw]
+					ct := dataplane.Compile(tbl)
+					scan := dataplane.Scan{Table: tbl}
+					if ct.Len() != scan.Len() {
+						t.Fatalf("state %v sw %d: rule count %d != %d", st, sw, ct.Len(), scan.Len())
+					}
+					for i := 0; i < 200; i++ {
+						pkt, port, tag := randProbe(r, hosts)
+						got := ct.Process(nil, pkt, port, tag)
+						want := scan.Process(nil, pkt, port, tag)
+						if !sameOutputs(got, want) {
+							t.Fatalf("state %v sw %d pkt %v port %d tag %d:\nindexed %v\nscan    %v\ntable:\n%v",
+								st, sw, pkt, port, tag, got, want, tbl)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// matcherConfig realizes the configuration relation through compiled
+// matchers (the dataplane analogue of nkc.CompiledConfig), for the
+// netkat.Eval leg of the equivalence property.
+type matcherConfig struct {
+	ms   map[int]dataplane.Matcher
+	topo *topo.Topology
+}
+
+func (c matcherConfig) DStep(d netkat.DPacket) []netkat.DPacket {
+	var outs []netkat.DPacket
+	switch {
+	case c.topo.IsHostNode(d.Loc.Switch):
+		if !d.Out {
+			return nil
+		}
+		h, _ := c.topo.HostByID(d.Loc.Switch)
+		outs = append(outs, netkat.DPacket{Pkt: d.Pkt, Loc: h.Attach})
+	case d.Out:
+		if lk, ok := c.topo.LinkFrom(d.Loc); ok {
+			if h, isHost := c.topo.HostByID(lk.Dst.Switch); isHost {
+				outs = append(outs, netkat.DPacket{Pkt: d.Pkt, Loc: h.Loc()})
+			} else {
+				outs = append(outs, netkat.DPacket{Pkt: d.Pkt, Loc: lk.Dst})
+			}
+		}
+	default:
+		if m, ok := c.ms[d.Loc.Switch]; ok {
+			for _, o := range m.Process(nil, d.Pkt, d.Loc.Port, 0) {
+				outs = append(outs, netkat.DPacket{Pkt: o.Pkt, Loc: netkat.Location{Switch: d.Loc.Switch, Port: o.Port}, Out: true})
+			}
+		}
+	}
+	return outs
+}
+
+// journey drives a DConfig exhaustively from a start point, returning the
+// visited directed-packet set and the reached located-packet set.
+func journey(t *testing.T, cfg netkat.DConfig, start netkat.DPacket) (map[string]bool, map[string]bool) {
+	t.Helper()
+	visited := map[string]bool{}
+	reached := map[string]bool{}
+	frontier := []netkat.DPacket{start}
+	for steps := 0; len(frontier) > 0; steps++ {
+		if steps > 10000 {
+			t.Fatalf("journey from %v did not terminate", start)
+		}
+		var next []netkat.DPacket
+		for _, d := range frontier {
+			k := d.Key()
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			reached[d.LP().Key()] = true
+			next = append(next, cfg.DStep(d)...)
+		}
+		frontier = next
+	}
+	return visited, reached
+}
+
+// TestMatcherEvalEquivalence closes the triangle with the reference
+// evaluator: journeying host emissions through the compiled matchers
+// visits exactly the directed packets the linear-scan tables visit, and
+// every output netkat.Eval predicts for the state's projected policy is
+// reached.
+func TestMatcherEvalEquivalence(t *testing.T) {
+	cases := []apps.App{apps.Firewall(), apps.LearningSwitch(), apps.Authentication(), apps.BandwidthCap(10), apps.IDS(), apps.WalledGarden(), apps.DistributedFirewall(), apps.Ring(3), apps.IDSFatTree(4)}
+	for _, a := range cases {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			states, _, err := a.Prog.ReachableStates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts := hostAddrs(a.Topo)
+			for _, st := range states {
+				pol := stateful.Project(a.Prog.Cmd, st)
+				tables, err := nkc.Compile(pol, a.Topo)
+				if err != nil {
+					t.Fatalf("state %v: %v", st, err)
+				}
+				indexed := matcherConfig{ms: map[int]dataplane.Matcher{}, topo: a.Topo}
+				scan := matcherConfig{ms: map[int]dataplane.Matcher{}, topo: a.Topo}
+				for _, sw := range tables.Switches() {
+					indexed.ms[sw] = dataplane.Compile(tables[sw])
+					scan.ms[sw] = dataplane.Scan{Table: tables[sw]}
+				}
+				var lps []netkat.LocatedPacket
+				for _, lk := range a.Topo.AllLinks() {
+					h, ok := a.Topo.HostByID(lk.Dst.Switch)
+					if !ok {
+						continue
+					}
+					for _, dst := range hosts {
+						lps = append(lps,
+							netkat.LocatedPacket{Pkt: netkat.Packet{"dst": dst, "src": h.ID}, Loc: h.Loc()},
+							netkat.LocatedPacket{Pkt: netkat.Packet{"dst": dst, "sig": 1}, Loc: h.Loc()})
+					}
+				}
+				for _, lp := range lps {
+					start := netkat.DPacket{Pkt: lp.Pkt, Loc: lp.Loc, Out: true}
+					visI, reachI := journey(t, indexed, start)
+					visS, _ := journey(t, scan, start)
+					if len(visI) != len(visS) {
+						t.Fatalf("state %v from %v: indexed visits %d, scan visits %d", st, lp, len(visI), len(visS))
+					}
+					for k := range visI {
+						if !visS[k] {
+							t.Fatalf("state %v from %v: indexed visits %s, scan does not", st, lp, k)
+						}
+					}
+					// The policy processes packets at switch ingress; the host
+					// emission enters at the attachment port.
+					h, _ := a.Topo.HostByID(lp.Loc.Switch)
+					ingress := netkat.LocatedPacket{Pkt: lp.Pkt, Loc: h.Attach}
+					for _, want := range netkat.Eval(pol, ingress) {
+						if !reachI[want.Key()] {
+							t.Fatalf("state %v: Eval predicts %v from %v but the matchers never reach it", st, want, ingress)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMergedGuardEquivalence checks the Section 5.3 deployment shape: a
+// merged table looked up under tag c behaves exactly like configuration
+// c's own table, through both the guard-partitioned index and the linear
+// scan.
+func TestMergedGuardEquivalence(t *testing.T) {
+	for _, a := range []apps.App{apps.Firewall(), apps.BandwidthCap(10), apps.IDS()} {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			n := buildNES(t, a)
+			merged := dataplane.Merged(n)
+			hosts := hostAddrs(a.Topo)
+			r := rand.New(rand.NewSource(31))
+			for _, sw := range merged.Switches() {
+				ct := dataplane.Compile(merged[sw])
+				mscan := dataplane.Scan{Table: merged[sw]}
+				for ci := range n.Configs {
+					cfgTbl, ok := n.Configs[ci].Tables[sw]
+					var ref dataplane.Matcher = dataplane.Scan{Table: &flowtable.Table{}}
+					if ok {
+						ref = dataplane.Scan{Table: cfgTbl}
+					}
+					for i := 0; i < 100; i++ {
+						pkt, port, _ := randProbe(r, hosts)
+						tag := uint32(ci)
+						got := ct.Process(nil, pkt, port, tag)
+						viaScan := mscan.Process(nil, pkt, port, tag)
+						want := ref.Process(nil, pkt, port, 0)
+						if !sameOutputs(got, want) || !sameOutputs(viaScan, want) {
+							t.Fatalf("sw %d config %d pkt %v port %d:\nindexed %v\nmerged-scan %v\nper-config %v",
+								sw, ci, pkt, port, got, viaScan, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPlanBatchProcess: the amortized batch API produces exactly the
+// outputs of per-packet scan processing — same emissions in the same
+// order, version and digest carried through — and is stable under output
+// buffer reuse.
+func TestPlanBatchProcess(t *testing.T) {
+	a := apps.BandwidthCap(10)
+	n := buildNES(t, a)
+	indexed := dataplane.ForNES(n, dataplane.ModeIndexed)
+	scan := dataplane.ForNES(n, dataplane.ModeScan)
+	lg := dataplane.NewLoadGen(n, a.Topo, 41)
+	var in []dataplane.Packet
+	for i, p := range lg.Probes(300) {
+		in = append(in, dataplane.Packet{
+			Fields:  p.Fields,
+			Switch:  p.Switch,
+			Port:    p.InPort,
+			Version: i % len(n.Configs),
+			Digest:  nes.Singleton(i % 3),
+		})
+	}
+	want := scan.Process(in, nil)
+	if len(want) == 0 {
+		t.Fatal("batch produced no outputs; test is vacuous")
+	}
+	var out []dataplane.Packet
+	for round := 0; round < 2; round++ { // second round reuses the buffer
+		out = indexed.Process(in, out[:0])
+		if len(out) != len(want) {
+			t.Fatalf("round %d: %d outputs, want %d", round, len(out), len(want))
+		}
+		for i := range out {
+			g, w := out[i], want[i]
+			if g.Switch != w.Switch || g.Port != w.Port || g.Version != w.Version || g.Digest != w.Digest || !g.Fields.Equal(w.Fields) {
+				t.Fatalf("round %d output %d: got %+v want %+v", round, i, g, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package dataplane is the high-throughput packet-forwarding engine: it
+// *compiles* each switch's prioritized flow table (flowtable.Table) into an
+// indexed matcher instead of scanning it rule by rule, and forwards traffic
+// through those matchers on a sharded, deterministic worker engine that
+// carries the version-tag and event-digest semantics of Section 4.1 of the
+// paper on the fast path.
+//
+// The layers, bottom up:
+//
+//   - Matcher (compile.go): one switch's table compiled per
+//     (version-guard partition, in-port) into an exact-match hash index
+//     over the discriminating header fields, with a rank-merged fallback
+//     list for wildcard/exclusion rules. Lookup is O(1)+verification
+//     instead of O(rules); the hot path performs no per-packet map or
+//     string construction.
+//   - Plan (plan.go): every (configuration, switch) table of an NES
+//     compiled once, cached per NES, with an amortized batch API. Merged
+//     builds the Section 5.3 deployment shape — one table per switch
+//     holding all configurations' rules behind exact version guards —
+//     whose guard partitions are where indexing pays off most.
+//   - Engine (engine.go): per-switch forwarding workers fed by ring-buffer
+//     queues, processing packets in deterministic bulk-synchronous
+//     generations. Switches keep local event views, react to locally
+//     detected events immediately, and gossip digests on every emitted
+//     packet, so ETS transitions remain event-driven consistent under
+//     concurrent load.
+//   - LoadGen (loadgen.go): a deterministic line-rate traffic source for
+//     the throughput harness (exp.Throughput, cmd/experiments -only
+//     throughput) and the package benchmarks.
+//
+// See docs/DATAPLANE.md for the compilation scheme, the batch/worker
+// architecture, and why fast-path tag+digest handling preserves the
+// paper's Theorem 1.
+package dataplane
+
+import (
+	"eventnet/internal/flowtable"
+	"eventnet/internal/netkat"
+)
+
+// Mode selects a forwarding implementation: the compiled index or the
+// reference linear scan (the baseline in benchmarks and the -dataplane
+// CLI selectors).
+type Mode int
+
+// Modes.
+const (
+	ModeIndexed Mode = iota
+	ModeScan
+)
+
+// ParseMode maps the CLI spelling to a Mode.
+func ParseMode(s string) (Mode, bool) {
+	switch s {
+	case "indexed":
+		return ModeIndexed, true
+	case "scan":
+		return ModeScan, true
+	}
+	return ModeIndexed, false
+}
+
+// String renders the mode as its CLI spelling.
+func (m Mode) String() string {
+	if m == ModeScan {
+		return "scan"
+	}
+	return "indexed"
+}
+
+// Matcher matches packets against one switch's flow table. Both the
+// compiled index and the linear-scan reference implement it; equivalence
+// is property-tested on every reachable configuration of every
+// application.
+type Matcher interface {
+	// Lookup returns the highest-priority rule admitting the packet.
+	Lookup(pkt netkat.Packet, inPort int, tag uint32) (*flowtable.Rule, bool)
+	// Process applies the winning rule's action groups, appending the
+	// emitted copies to dst (untouched when no rule matches: default
+	// drop). Reusing dst across calls keeps the hot path allocation-free
+	// apart from the clones rewriting groups inherently need.
+	Process(dst []flowtable.Output, pkt netkat.Packet, inPort int, tag uint32) []flowtable.Output
+	// Len returns the number of rules behind the matcher.
+	Len() int
+}
+
+// Scan is the reference Matcher: a priority-ordered linear scan over the
+// underlying table, one flowtable.Match.Matches call per rule.
+type Scan struct{ Table *flowtable.Table }
+
+// Lookup implements Matcher.
+func (s Scan) Lookup(pkt netkat.Packet, inPort int, tag uint32) (*flowtable.Rule, bool) {
+	rs := s.Table.Rules
+	for i := range rs {
+		if rs[i].Match.Matches(pkt, inPort, tag) {
+			return &rs[i], true
+		}
+	}
+	return nil, false
+}
+
+// Process implements Matcher.
+func (s Scan) Process(dst []flowtable.Output, pkt netkat.Packet, inPort int, tag uint32) []flowtable.Output {
+	return s.Table.AppendProcess(dst, pkt, inPort, tag)
+}
+
+// Len implements Matcher.
+func (s Scan) Len() int { return s.Table.Len() }

@@ -1,0 +1,339 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"eventnet/internal/flowtable"
+	"eventnet/internal/nes"
+	"eventnet/internal/netkat"
+	"eventnet/internal/topo"
+)
+
+// qpkt is an in-flight packet inside the engine. seq totally orders the
+// packets of a generation (assigned deterministically at the generation
+// barrier); branch distinguishes the copies one rule emission produced.
+type qpkt struct {
+	fields  netkat.Packet
+	inPort  int
+	version int
+	digest  nes.Set
+	seq     int64
+	branch  int32
+}
+
+// ring is a growable ring buffer of packets: each switch's ingress queue.
+// The engine's generation barrier makes every ring single-producer (the
+// merge step) single-consumer (the owning worker), so no locking is
+// needed; the barrier's happens-before edge publishes the contents.
+type ring struct {
+	buf        []qpkt
+	head, tail int // tail is one past the last element; len = tail-head
+}
+
+func (r *ring) len() int { return r.tail - r.head }
+
+func (r *ring) push(p qpkt) {
+	if r.tail-r.head == len(r.buf) {
+		grown := make([]qpkt, max(8, 2*len(r.buf)))
+		n := r.copyOut(grown)
+		r.buf, r.head, r.tail = grown, 0, n
+	}
+	r.buf[r.tail%len(r.buf)] = p
+	r.tail++
+}
+
+func (r *ring) pop() qpkt {
+	p := r.buf[r.head%len(r.buf)]
+	r.buf[r.head%len(r.buf)] = qpkt{} // release references
+	r.head++
+	if r.head == r.tail {
+		r.head, r.tail = 0, 0
+	}
+	return p
+}
+
+// copyOut copies the queued packets into dst in order, returning the count.
+func (r *ring) copyOut(dst []qpkt) int {
+	n := 0
+	for i := r.head; i < r.tail; i++ {
+		dst[n] = r.buf[i%len(r.buf)]
+		n++
+	}
+	return n
+}
+
+// Delivery is a packet received by a host.
+type Delivery struct {
+	Host   string
+	Fields netkat.Packet
+}
+
+// outEntry is one packet emitted during a generation, tagged with its
+// destination and its deterministic merge key (parent seq, branch).
+type outEntry struct {
+	dst int // switch index, or -1 for a host delivery
+	hos string
+	pkt qpkt
+}
+
+// worker owns a shard of switches during a generation. All its fields are
+// private to one goroutine between barriers.
+type worker struct {
+	outbox    []outEntry
+	obuf      []flowtable.Output // matcher scratch
+	processed int64
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Workers is the number of forwarding workers (shards). Defaults to 1.
+	// The delivery sequence is identical for every worker count.
+	Workers int
+	// Mode selects indexed matchers (default) or the linear-scan baseline.
+	Mode Mode
+}
+
+// Engine is the sharded forwarding engine: per-switch state (event view,
+// ingress ring) sharded over worker goroutines, processing packets in
+// bulk-synchronous generations (one generation = every queued packet
+// forwarded one hop).
+//
+// The tagged semantics of Section 4.1 run on the fast path exactly as in
+// the Figure 7 machine: a packet is forwarded by the configuration its
+// tag names (never the switch's current view), locally detected events
+// update the switch's view immediately, and every emitted copy gossips
+// the digest digest ∪ oldView ∪ newlyEnabled. Because forwarding depends
+// only on the packet's own tag and fields, and each switch's queue is
+// merged into a deterministic order at the generation barrier, the
+// delivery sequence is bit-identical for any worker count — sharding
+// changes wall-clock time, never behavior.
+type Engine struct {
+	NES  *nes.NES
+	Topo *topo.Topology
+
+	plan     *Plan
+	workers  int
+	switches []int       // sorted switch IDs; shard w owns indices i ≡ w (mod workers)
+	swIdx    map[int]int // switch ID -> index
+	views    []nes.Set   // per switch index, owner-worker mutated
+	rings    []*ring     // per switch index, filled at barriers
+
+	// Hot-path topology lookups, precomputed: Topology.LinkFrom rebuilds
+	// the whole link slice per call, which would put an allocation on
+	// every emitted packet.
+	links map[netkat.Location]topo.Link
+	hosts map[int]topo.Host // host node ID -> host
+
+	seq        int64
+	processed  int64
+	deliveries []Delivery
+}
+
+// NewEngine builds an engine over a compiled NES and its topology.
+func NewEngine(n *nes.NES, t *topo.Topology, opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = 1
+	}
+	e := &Engine{
+		NES:      n,
+		Topo:     t,
+		workers:  w,
+		swIdx:    map[int]int{},
+		switches: append([]int{}, t.Switches...),
+	}
+	sort.Ints(e.switches)
+	for i, sw := range e.switches {
+		e.swIdx[sw] = i
+	}
+	e.views = make([]nes.Set, len(e.switches))
+	e.rings = make([]*ring, len(e.switches))
+	for i := range e.rings {
+		e.rings[i] = &ring{}
+	}
+	e.links = map[netkat.Location]topo.Link{}
+	for _, lk := range t.AllLinks() {
+		e.links[lk.Src] = lk
+	}
+	e.hosts = map[int]topo.Host{}
+	for _, h := range t.Hosts {
+		e.hosts[h.ID] = h
+	}
+	e.plan = PlanForMode(n, opts.Mode)
+	return e
+}
+
+// gAt mirrors runtime.Machine.gAt: the configuration for a view, falling
+// back to the largest family member below it.
+func (e *Engine) gAt(v nes.Set) int {
+	if c, ok := e.NES.ConfigAt(v); ok {
+		return c
+	}
+	best := nes.Empty
+	for _, f := range e.NES.Family() {
+		if f.SubsetOf(v) && best.SubsetOf(f) {
+			best = f
+		}
+	}
+	c, _ := e.NES.ConfigAt(best)
+	return c
+}
+
+// Inject stamps a packet entering from the named host with the ingress
+// switch's current configuration tag (the IN rule) and queues it. Inject
+// must not race with Run; the usual shape is inject a batch, run, repeat.
+func (e *Engine) Inject(host string, fields netkat.Packet) error {
+	h, ok := e.Topo.HostByName(host)
+	if !ok {
+		return fmt.Errorf("dataplane: unknown host %q", host)
+	}
+	i := e.swIdx[h.Attach.Switch]
+	e.seq++
+	e.rings[i].push(qpkt{
+		fields:  fields.Clone(),
+		inPort:  h.Attach.Port,
+		version: e.gAt(e.views[i]),
+		digest:  nes.Empty,
+		seq:     e.seq,
+	})
+	return nil
+}
+
+// maxGenerations bounds Run against forwarding loops.
+const maxGenerations = 1 << 16
+
+// Run forwards every queued packet to quiescence: generations of one hop
+// each, switches sharded over the configured workers, a barrier and a
+// deterministic queue merge between generations.
+func (e *Engine) Run() error {
+	ws := make([]*worker, e.workers)
+	for i := range ws {
+		ws[i] = &worker{}
+	}
+	var all []outEntry
+	for gen := 0; ; gen++ {
+		if gen > maxGenerations {
+			return fmt.Errorf("dataplane: no quiescence within %d generations", maxGenerations)
+		}
+		pending := 0
+		for _, r := range e.rings {
+			pending += r.len()
+		}
+		if pending == 0 {
+			return nil
+		}
+
+		var wg sync.WaitGroup
+		for w := 0; w < e.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wk := ws[w]
+				wk.outbox = wk.outbox[:0]
+				for i := w; i < len(e.switches); i += e.workers {
+					e.drain(wk, i)
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Barrier: merge every worker's emissions into the per-switch
+		// rings in the deterministic (parent seq, branch) order, and
+		// assign fresh seqs in that same order so the next generation is
+		// ordered no matter which worker produced what.
+		all = all[:0]
+		for _, wk := range ws {
+			all = append(all, wk.outbox...)
+			e.processed += wk.processed
+			wk.processed = 0
+		}
+		sort.Slice(all, func(i, j int) bool {
+			a, b := &all[i], &all[j]
+			if a.pkt.seq != b.pkt.seq {
+				return a.pkt.seq < b.pkt.seq
+			}
+			return a.pkt.branch < b.pkt.branch
+		})
+		for i := range all {
+			en := &all[i]
+			if en.dst < 0 {
+				e.deliveries = append(e.deliveries, Delivery{Host: en.hos, Fields: en.pkt.fields})
+				continue
+			}
+			e.seq++
+			en.pkt.seq = e.seq
+			en.pkt.branch = 0
+			e.rings[en.dst].push(en.pkt)
+		}
+	}
+}
+
+// drain processes every packet queued at switch index i (the SWITCH rule,
+// one hop) on the calling worker.
+func (e *Engine) drain(wk *worker, i int) {
+	r := e.rings[i]
+	sw := e.switches[i]
+	for r.len() > 0 {
+		p := r.pop()
+		wk.processed++
+
+		// Event handling: learn from the digest, detect newly enabled
+		// events this packet's arrival matches, update the local view.
+		view := e.views[i]
+		known := view.Union(p.digest)
+		lp := netkat.LocatedPacket{Pkt: p.fields, Loc: netkat.Location{Switch: sw, Port: p.inPort}}
+		newly := e.NES.NewlyEnabled(known, lp)
+		e.views[i] = known.Union(newly)
+		outDigest := p.digest.Union(view).Union(newly)
+
+		// Forward with the packet's tagged configuration.
+		m := e.plan.Matcher(p.version, sw)
+		if m == nil {
+			continue
+		}
+		wk.obuf = m.Process(wk.obuf[:0], p.fields, p.inPort, 0)
+		for bi, o := range wk.obuf {
+			lk, ok := e.links[netkat.Location{Switch: sw, Port: o.Port}]
+			if !ok {
+				continue // unconnected port: leaves the modeled network
+			}
+			out := qpkt{
+				fields:  o.Pkt,
+				inPort:  lk.Dst.Port,
+				version: p.version,
+				digest:  outDigest,
+				seq:     p.seq,
+				branch:  int32(bi),
+			}
+			if h, isHost := e.hosts[lk.Dst.Switch]; isHost {
+				wk.outbox = append(wk.outbox, outEntry{dst: -1, hos: h.Name, pkt: out})
+			} else {
+				wk.outbox = append(wk.outbox, outEntry{dst: e.swIdx[lk.Dst.Switch], pkt: out})
+			}
+		}
+	}
+}
+
+// Deliveries returns every packet delivered to a host, in the engine's
+// deterministic delivery order.
+func (e *Engine) Deliveries() []Delivery { return e.deliveries }
+
+// DeliveredTo returns the packets delivered to the named host.
+func (e *Engine) DeliveredTo(host string) []netkat.Packet {
+	var out []netkat.Packet
+	for _, d := range e.deliveries {
+		if d.Host == host {
+			out = append(out, d.Fields)
+		}
+	}
+	return out
+}
+
+// View returns a switch's current event view.
+func (e *Engine) View(sw int) nes.Set { return e.views[e.swIdx[sw]] }
+
+// Processed returns how many switch-hops the engine has executed — the
+// numerator of a packets/sec measurement.
+func (e *Engine) Processed() int64 { return e.processed }

@@ -1,0 +1,186 @@
+package dataplane_test
+
+import (
+	"sort"
+	"testing"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/dataplane"
+	"eventnet/internal/netkat"
+	"eventnet/internal/runtime"
+)
+
+// runEngine injects the batches round by round (Run between batches, so
+// event reactions influence later stamps) and returns the delivery
+// sequence.
+func runEngine(t *testing.T, a apps.App, opts dataplane.Options, batches [][]dataplane.Injection) []dataplane.Delivery {
+	t.Helper()
+	n := buildNES(t, a)
+	e := dataplane.NewEngine(n, a.Topo, opts)
+	for _, batch := range batches {
+		for _, in := range batch {
+			if err := e.Inject(in.Host, in.Fields); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e.Deliveries()
+}
+
+// loadBatches derives a deterministic multi-round workload from the
+// engine's load generator.
+func loadBatches(t *testing.T, a apps.App, rounds, perRound int) [][]dataplane.Injection {
+	t.Helper()
+	n := buildNES(t, a)
+	lg := dataplane.NewLoadGen(n, a.Topo, 7)
+	var out [][]dataplane.Injection
+	for i := 0; i < rounds; i++ {
+		out = append(out, lg.Injections(perRound))
+	}
+	return out
+}
+
+func sameDeliveries(a, b []dataplane.Delivery) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Host != b[i].Host || !a[i].Fields.Equal(b[i].Fields) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEngineDeterministicAcrossWorkers is the acceptance property for the
+// sharded engine: the delivery sequence (not just multiset) is identical
+// at 1, 2 and 4 workers, under both forwarding modes. Run with -race in
+// CI, this doubles as the engine's race test.
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	cases := []apps.App{apps.Firewall(), apps.BandwidthCap(10), apps.IDSFatTree(4)}
+	for _, a := range cases {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			batches := loadBatches(t, a, 3, 60)
+			base := runEngine(t, a, dataplane.Options{Workers: 1}, batches)
+			if len(base) == 0 {
+				t.Fatalf("workload delivered nothing; test is vacuous")
+			}
+			for _, w := range []int{2, 4} {
+				got := runEngine(t, a, dataplane.Options{Workers: w}, batches)
+				if !sameDeliveries(base, got) {
+					t.Fatalf("deliveries differ between 1 and %d workers: %d vs %d packets", w, len(base), len(got))
+				}
+			}
+			scan := runEngine(t, a, dataplane.Options{Workers: 4, Mode: dataplane.ModeScan}, batches)
+			if !sameDeliveries(base, scan) {
+				t.Fatalf("scan plane deliveries differ from indexed: %d vs %d packets", len(base), len(scan))
+			}
+		})
+	}
+}
+
+// TestEngineTaggedSemantics drives the stateful firewall scenario through
+// the engine: incoming traffic is dropped until the outgoing packet's
+// arrival at s4 enables the event, after which the return path opens —
+// the Section 4 behavior, with the event reaction taking effect on the
+// very next injection.
+func TestEngineTaggedSemantics(t *testing.T) {
+	a := apps.Firewall()
+	n := buildNES(t, a)
+	e := dataplane.NewEngine(n, a.Topo, dataplane.Options{Workers: 2})
+
+	in := func(host string, fields netkat.Packet) {
+		t.Helper()
+		if err := e.Inject(host, fields); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	in("H4", netkat.Packet{"dst": apps.H(1), "src": apps.H(4)})
+	if got := len(e.DeliveredTo("H1")); got != 0 {
+		t.Fatalf("incoming delivered before the outgoing event: %d packets", got)
+	}
+	in("H1", netkat.Packet{"dst": apps.H(4), "src": apps.H(1)})
+	if got := len(e.DeliveredTo("H4")); got != 1 {
+		t.Fatalf("outgoing not delivered: %d packets", got)
+	}
+	if e.View(4).Count() == 0 {
+		t.Fatalf("s4 did not detect the outgoing-arrival event; view %v", e.View(4))
+	}
+	in("H4", netkat.Packet{"dst": apps.H(1), "src": apps.H(4)})
+	if got := len(e.DeliveredTo("H1")); got != 1 {
+		t.Fatalf("incoming still dropped after the event: %d packets", got)
+	}
+}
+
+// deliveryKeys canonicalizes a delivery multiset.
+func deliveryKeys(ds []dataplane.Delivery) []string {
+	out := make([]string, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, d.Host+"|"+d.Fields.Key())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestEngineMatchesMachine cross-checks the engine against the Figure 7
+// reference machine on a scripted firewall scenario: injecting the same
+// packets round by round (quiescence between rounds) must deliver the
+// same multiset, for several machine schedules.
+func TestEngineMatchesMachine(t *testing.T) {
+	a := apps.Firewall()
+	n := buildNES(t, a)
+	script := []struct {
+		host   string
+		fields netkat.Packet
+	}{
+		{"H4", netkat.Packet{"dst": apps.H(1), "src": apps.H(4)}},
+		{"H1", netkat.Packet{"dst": apps.H(4), "src": apps.H(1)}},
+		{"H4", netkat.Packet{"dst": apps.H(1), "src": apps.H(4)}},
+		{"H1", netkat.Packet{"dst": apps.H(4), "src": apps.H(1), "id": 2}},
+		{"H4", netkat.Packet{"dst": apps.H(1), "src": apps.H(4), "id": 2}},
+	}
+
+	e := dataplane.NewEngine(n, a.Topo, dataplane.Options{Workers: 4})
+	for _, s := range script {
+		if err := e.Inject(s.host, s.fields); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := deliveryKeys(e.Deliveries())
+
+	for seed := int64(1); seed <= 5; seed++ {
+		m := runtime.New(n, a.Topo, seed, false)
+		for _, s := range script {
+			if err := m.Inject(s.host, s.fields); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.RunToQuiescence(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []dataplane.Delivery
+		for _, d := range m.Deliveries {
+			got = append(got, dataplane.Delivery{Host: d.Host, Fields: d.Fields})
+		}
+		gk := deliveryKeys(got)
+		if len(gk) != len(want) {
+			t.Fatalf("seed %d: machine delivered %d, engine %d", seed, len(gk), len(want))
+		}
+		for i := range gk {
+			if gk[i] != want[i] {
+				t.Fatalf("seed %d: delivery multiset differs at %d: %s vs %s", seed, i, gk[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package dataplane_test
+
+import (
+	"fmt"
+	"time"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/dataplane"
+	"eventnet/internal/ets"
+)
+
+// Example compiles the stateful firewall, pushes a seeded batch of
+// traffic through the sharded engine, and reports the deliveries. The
+// load generator's fixed seed makes every count deterministic; the
+// packets/sec figure depends on the machine, so only its positivity is
+// printed.
+func Example() {
+	a := apps.Firewall()
+	e, err := ets.Build(a.Prog, a.Topo)
+	if err != nil {
+		panic(err)
+	}
+	n, err := e.ToNES()
+	if err != nil {
+		panic(err)
+	}
+
+	eng := dataplane.NewEngine(n, a.Topo, dataplane.Options{Workers: 2})
+	lg := dataplane.NewLoadGen(n, a.Topo, 7)
+
+	// Two rounds of 50: the first round's outgoing H1->H4 packet enables
+	// the firewall event at s4, so the second round's incoming H4->H1
+	// traffic is stamped with the open configuration and gets through.
+	injected := 0
+	start := time.Now()
+	for round := 0; round < 2; round++ {
+		for _, in := range lg.Injections(50) {
+			if err := eng.Inject(in.Host, in.Fields); err != nil {
+				panic(err)
+			}
+			injected++
+		}
+		if err := eng.Run(); err != nil {
+			panic(err)
+		}
+	}
+	pps := float64(eng.Processed()) / time.Since(start).Seconds()
+
+	fmt.Printf("injected %d packets over %d switch-hops\n", injected, eng.Processed())
+	fmt.Printf("delivered: H1=%d H4=%d\n", len(eng.DeliveredTo("H1")), len(eng.DeliveredTo("H4")))
+	fmt.Printf("throughput measured: %v\n", pps > 0)
+	// Output:
+	// injected 100 packets over 137 switch-hops
+	// delivered: H1=11 H4=26
+	// throughput measured: true
+}

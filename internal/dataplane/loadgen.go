@@ -1,0 +1,107 @@
+package dataplane
+
+import (
+	"math/rand"
+	"sort"
+
+	"eventnet/internal/nes"
+	"eventnet/internal/netkat"
+	"eventnet/internal/topo"
+)
+
+// Injection is one host emission a LoadGen produced.
+type Injection struct {
+	Host   string
+	Fields netkat.Packet
+}
+
+// Probe is one raw matcher probe: a packet presented at a switch ingress
+// port under a version tag, the unit of the matcher throughput harness.
+type Probe struct {
+	Switch int
+	InPort int
+	Tag    uint32
+	Fields netkat.Packet
+}
+
+// LoadGen is a deterministic traffic source for the line-rate harness: a
+// seeded stream of host-to-host injections (for the Engine) and raw
+// matcher probes (for the throughput benchmarks), drawn from the
+// topology's real hosts, ports, and the NES's configuration universe so
+// the generated traffic exercises the installed rules rather than the
+// default-drop path.
+type LoadGen struct {
+	rng     *rand.Rand
+	hosts   []topo.Host
+	swPorts map[int][]int // switch -> plausible ingress ports
+	sws     []int
+	configs int
+}
+
+// NewLoadGen builds a generator for the NES over its topology. Equal
+// seeds yield equal streams.
+func NewLoadGen(n *nes.NES, t *topo.Topology, seed int64) *LoadGen {
+	g := &LoadGen{rng: rand.New(rand.NewSource(seed)), swPorts: map[int][]int{}, configs: len(n.Configs)}
+	g.hosts = append(g.hosts, t.Hosts...)
+	sort.Slice(g.hosts, func(i, j int) bool { return g.hosts[i].Name < g.hosts[j].Name })
+	seen := map[netkat.Location]bool{}
+	addPort := func(l netkat.Location) {
+		if t.IsHostNode(l.Switch) || seen[l] {
+			return
+		}
+		seen[l] = true
+		g.swPorts[l.Switch] = append(g.swPorts[l.Switch], l.Port)
+	}
+	for _, lk := range t.AllLinks() {
+		addPort(lk.Src)
+		addPort(lk.Dst)
+	}
+	for _, h := range g.hosts {
+		addPort(h.Attach)
+	}
+	g.sws = append(g.sws, t.Switches...)
+	sort.Ints(g.sws)
+	for sw := range g.swPorts {
+		sort.Ints(g.swPorts[sw])
+	}
+	return g
+}
+
+// Injections returns k host emissions with random (src, dst) host pairs,
+// carrying the workload's src/dst convention so application rules match.
+func (g *LoadGen) Injections(k int) []Injection {
+	out := make([]Injection, 0, k)
+	for i := 0; i < k; i++ {
+		src := g.hosts[g.rng.Intn(len(g.hosts))]
+		dst := g.hosts[g.rng.Intn(len(g.hosts))]
+		out = append(out, Injection{
+			Host:   src.Name,
+			Fields: netkat.Packet{"dst": dst.ID, "src": src.ID, "id": i},
+		})
+	}
+	return out
+}
+
+// Probes returns k matcher probes: a random switch, one of its real
+// ingress ports, a random configuration tag, and fields addressing a
+// random host pair.
+func (g *LoadGen) Probes(k int) []Probe {
+	out := make([]Probe, 0, k)
+	for i := 0; i < k; i++ {
+		sw := g.sws[g.rng.Intn(len(g.sws))]
+		ports := g.swPorts[sw]
+		port := 1
+		if len(ports) > 0 {
+			port = ports[g.rng.Intn(len(ports))]
+		}
+		src := g.hosts[g.rng.Intn(len(g.hosts))]
+		dst := g.hosts[g.rng.Intn(len(g.hosts))]
+		out = append(out, Probe{
+			Switch: sw,
+			InPort: port,
+			Tag:    uint32(g.rng.Intn(g.configs)),
+			Fields: netkat.Packet{"dst": dst.ID, "src": src.ID},
+		})
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package dataplane
+
+import (
+	"sync"
+
+	"eventnet/internal/flowtable"
+	"eventnet/internal/nes"
+	"eventnet/internal/netkat"
+)
+
+// Packet is one packet presented to (or emitted by) the dataplane: header
+// fields plus its location and the Section 4.1 metadata — the
+// configuration tag selecting which compiled configuration processes it
+// and the event digest it gossips.
+type Packet struct {
+	Fields  netkat.Packet
+	Switch  int
+	Port    int // ingress port on input, egress port on output
+	Version int // configuration tag (index into the NES's configs)
+	Digest  nes.Set
+}
+
+// Plan is an NES with every (configuration, switch) flow table compiled
+// to a Matcher. Plans are immutable after construction and safe for
+// concurrent use.
+type Plan struct {
+	mode     Mode
+	matchers []map[int]Matcher // [config][switch]
+}
+
+// ForNES compiles a plan for the NES in the given mode. ModeScan wraps
+// the existing tables without copying; ModeIndexed compiles each table's
+// index once, amortizing it over every packet forwarded afterwards.
+func ForNES(n *nes.NES, mode Mode) *Plan {
+	p := &Plan{mode: mode, matchers: make([]map[int]Matcher, len(n.Configs))}
+	for ci := range n.Configs {
+		ms := make(map[int]Matcher, len(n.Configs[ci].Tables))
+		for sw, t := range n.Configs[ci].Tables {
+			if mode == ModeScan {
+				ms[sw] = Scan{Table: t}
+			} else {
+				ms[sw] = Compile(t)
+			}
+		}
+		p.matchers[ci] = ms
+	}
+	return p
+}
+
+// planCache memoizes indexed plans per NES, so the many short-lived
+// machines the runtime property tests spin up over one NES compile its
+// indexes exactly once. The cache is bounded: when it fills, it is
+// cleared wholesale rather than pinning every NES a long-lived process
+// ever compiled — a cold plan rebuilds in microseconds.
+var (
+	planMu    sync.Mutex
+	planCache = map[*nes.NES]*Plan{}
+)
+
+// planCacheLimit bounds planCache; past it the cache resets.
+const planCacheLimit = 128
+
+// PlanFor returns the cached indexed plan for the NES, compiling it on
+// first use.
+func PlanFor(n *nes.NES) *Plan {
+	planMu.Lock()
+	defer planMu.Unlock()
+	if p, ok := planCache[n]; ok {
+		return p
+	}
+	if len(planCache) >= planCacheLimit {
+		clear(planCache)
+	}
+	p := ForNES(n, ModeIndexed)
+	planCache[n] = p
+	return p
+}
+
+// PlanForMode resolves the plan for a forwarding mode: scan plans wrap
+// the tables in place (cheap, never cached), indexed plans come from the
+// shared cache. The sim planes and the Engine both dispatch through
+// this.
+func PlanForMode(n *nes.NES, mode Mode) *Plan {
+	if mode == ModeScan {
+		return ForNES(n, ModeScan)
+	}
+	return PlanFor(n)
+}
+
+// Mode returns the plan's forwarding mode.
+func (p *Plan) Mode() Mode { return p.mode }
+
+// Matcher returns the matcher for a configuration's switch, or nil when
+// the configuration installs no table there (default drop).
+func (p *Plan) Matcher(version, sw int) Matcher {
+	if version < 0 || version >= len(p.matchers) {
+		return nil
+	}
+	return p.matchers[version][sw]
+}
+
+// Process is the amortized batch API: every input packet is matched
+// against its (version, switch) table and the emitted copies are appended
+// to out — same switch, egress port in Port, version and digest carried
+// through unchanged. Passing out's previous backing array (out[:0])
+// across calls makes the steady state allocation-free apart from the
+// clones rewriting action groups need.
+func (p *Plan) Process(in []Packet, out []Packet) []Packet {
+	var scratch []flowtable.Output // reused across the batch
+	for i := range in {
+		pk := &in[i]
+		m := p.Matcher(pk.Version, pk.Switch)
+		if m == nil {
+			continue
+		}
+		scratch = m.Process(scratch[:0], pk.Fields, pk.Port, 0)
+		for _, o := range scratch {
+			out = append(out, Packet{
+				Fields:  o.Pkt,
+				Switch:  pk.Switch,
+				Port:    o.Port,
+				Version: pk.Version,
+				Digest:  pk.Digest,
+			})
+		}
+	}
+	return out
+}
+
+// Merged builds the Section 5.3 deployment shape: one table per switch
+// holding every configuration's rules behind an exact version guard, so a
+// single physical table serves all configurations and a packet's tag
+// selects its slice. Looking up (pkt, port, tag c) in a merged table is
+// equivalent to looking up (pkt, port, 0) in configuration c's own table:
+// guards with the same mask and different values never admit the same
+// tag, and the stable priority sort preserves each configuration's
+// internal rule order. This is where guard partitioning pays off most —
+// the linear scan walks every configuration's rules, the compiled matcher
+// jumps straight to the tag's partition.
+func Merged(n *nes.NES) flowtable.Tables {
+	bits := 1
+	for 1<<uint(bits) < len(n.Configs) {
+		bits++
+	}
+	merged := flowtable.Tables{}
+	for ci := range n.Configs {
+		guard := flowtable.ExactGuard(uint32(ci), bits)
+		for sw, t := range n.Configs[ci].Tables {
+			var rs []flowtable.Rule
+			for _, r := range t.Rules {
+				m := r.Match.Clone()
+				m.Guard = guard
+				rs = append(rs, flowtable.Rule{Priority: r.Priority, Match: m, Groups: r.Groups})
+			}
+			merged.Get(sw).AddAll(rs)
+		}
+	}
+	return merged
+}

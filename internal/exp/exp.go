@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"eventnet/internal/apps"
+	"eventnet/internal/dataplane"
 	"eventnet/internal/ets"
 	"eventnet/internal/flowtable"
 	"eventnet/internal/nes"
@@ -505,6 +506,67 @@ func TableCompileScale() *Table {
 			a.Name, fmt.Sprint(stats.States), fmt.Sprint(stats.Events),
 			fmt.Sprintf("%.4f", elapsed), fmt.Sprint(rules),
 			fmt.Sprintf("%.1f", segPct), fmt.Sprint(stats.Cache.Strands), fmt.Sprint(stats.Cache.FDDNodes),
+		})
+	}
+	return t
+}
+
+// Throughput measures dataplane forwarding rates: a seeded probe stream
+// is pushed through each application's merged (all-configurations,
+// version-guarded) tables, once through the compiled indexed matchers of
+// internal/dataplane and once through the priority-ordered linear scan,
+// and the packets/sec of both are reported with the speedup. probes sets
+// the timed stream length (the stream repeats as needed). One row per
+// application; with -json this is the NDJSON throughput trajectory
+// tracked across PRs (docs/BENCHMARKS.md).
+func Throughput(probes int) *Table {
+	t := &Table{
+		Title:   "Dataplane throughput: compiled indexed matchers vs linear scan (merged tables)",
+		Columns: []string{"app", "rules", "pps_scan", "pps_indexed", "speedup"},
+	}
+	cases := apps.All()
+	cases = append(cases, apps.BandwidthCap(40), apps.BandwidthCap(200), apps.IDSFatTree(4))
+	for _, a := range cases {
+		n, err := BuildNES(a)
+		if err != nil {
+			panic(err)
+		}
+		merged := dataplane.Merged(n)
+		indexed := map[int]dataplane.Matcher{}
+		scan := map[int]dataplane.Matcher{}
+		rules := 0
+		for _, sw := range merged.Switches() {
+			indexed[sw] = dataplane.Compile(merged[sw])
+			scan[sw] = dataplane.Scan{Table: merged[sw]}
+			rules += merged[sw].Len()
+		}
+		lg := dataplane.NewLoadGen(n, a.Topo, 11)
+		var stream []dataplane.Probe
+		for _, p := range lg.Probes(4096) {
+			if indexed[p.Switch] != nil {
+				stream = append(stream, p)
+			}
+		}
+		measure := func(ms map[int]dataplane.Matcher) float64 {
+			var buf []flowtable.Output
+			// Warm caches, then time.
+			for i := 0; i < len(stream); i++ {
+				p := &stream[i]
+				buf = ms[p.Switch].Process(buf[:0], p.Fields, p.InPort, p.Tag)
+			}
+			start := time.Now()
+			for i := 0; i < probes; i++ {
+				p := &stream[i%len(stream)]
+				buf = ms[p.Switch].Process(buf[:0], p.Fields, p.InPort, p.Tag)
+			}
+			return float64(probes) / time.Since(start).Seconds()
+		}
+		ppsScan := measure(scan)
+		ppsIdx := measure(indexed)
+		t.Rows = append(t.Rows, []string{
+			a.Name, fmt.Sprint(rules),
+			fmt.Sprintf("%.0f", ppsScan), fmt.Sprintf("%.0f", ppsIdx),
+			fmt.Sprintf("%.1f", ppsIdx/ppsScan),
 		})
 	}
 	return t

@@ -17,6 +17,8 @@ import (
 	"math/rand"
 	"sort"
 
+	"eventnet/internal/dataplane"
+	"eventnet/internal/flowtable"
 	"eventnet/internal/nes"
 	"eventnet/internal/netkat"
 	"eventnet/internal/topo"
@@ -64,9 +66,13 @@ type Machine struct {
 	nt      trace.NetTrace
 	parents []int
 	rng     *rand.Rand
+	plan    *dataplane.Plan    // compiled per-(config, switch) matchers, shared per NES
+	obuf    []flowtable.Output // switchStep scratch; a Machine is single-goroutine
 }
 
-// New builds a machine for the NES over its topology.
+// New builds a machine for the NES over its topology. Forwarding runs
+// through the NES's compiled indexed matchers (dataplane.PlanFor), which
+// are built once per NES and shared by every machine over it.
 func New(n *nes.NES, t *topo.Topology, seed int64, ctrlAssist bool) *Machine {
 	m := &Machine{
 		NES:        n,
@@ -74,6 +80,7 @@ func New(n *nes.NES, t *topo.Topology, seed int64, ctrlAssist bool) *Machine {
 		Switches:   map[int]*SwitchState{},
 		CtrlAssist: ctrlAssist,
 		rng:        rand.New(rand.NewSource(seed)),
+		plan:       dataplane.PlanFor(n),
 	}
 	for _, sw := range t.Switches {
 		m.Switches[sw] = &SwitchState{ID: sw, In: map[int][]Packet{}, Out: map[int][]Packet{}}
@@ -238,20 +245,13 @@ func (m *Machine) switchStep(swid, port int) {
 	lp := netkat.LocatedPacket{Pkt: pkt.Fields, Loc: loc}
 	newly := m.NES.NewlyEnabled(known, lp)
 
-	// Forward with the packet's tagged configuration.
-	cfg := m.NES.Configs[pkt.Config]
-	var outs []struct {
-		fields netkat.Packet
-		port   int
+	// Forward with the packet's tagged configuration, through its
+	// compiled matcher.
+	m.obuf = m.obuf[:0]
+	if mt := m.plan.Matcher(pkt.Config, swid); mt != nil {
+		m.obuf = mt.Process(m.obuf, pkt.Fields, port, 0)
 	}
-	if tbl, ok := cfg.Tables[swid]; ok {
-		for _, o := range tbl.Process(pkt.Fields, port, 0) {
-			outs = append(outs, struct {
-				fields netkat.Packet
-				port   int
-			}{o.Pkt, o.Port})
-		}
-	}
+	outs := m.obuf
 
 	// State and digest updates (Figure 7, SWITCH).
 	oldE := sw.Events
@@ -260,9 +260,9 @@ func (m *Machine) switchStep(swid, port int) {
 	outDigest := pkt.Digest.Union(oldE).Union(newly)
 
 	for _, o := range outs {
-		egress := m.record(o.fields, netkat.Location{Switch: swid, Port: o.port}, true, ingress)
-		sw.Out[o.port] = append(sw.Out[o.port], Packet{
-			Fields: o.fields,
+		egress := m.record(o.Pkt, netkat.Location{Switch: swid, Port: o.Port}, true, ingress)
+		sw.Out[o.Port] = append(sw.Out[o.Port], Packet{
+			Fields: o.Pkt,
 			Config: pkt.Config,
 			Digest: outDigest,
 			tidx:   egress,
