@@ -12,6 +12,7 @@
 //	experiments -only fig14,fig17
 //	experiments -json -only scale
 //	experiments -json -only throughput
+//	experiments -json -only swap
 package main
 
 import (
@@ -73,7 +74,7 @@ func emit(name string, v any) {
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
-	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables, scale, throughput")
+	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables, scale, throughput, swap")
 	flag.BoolVar(&asJSON, "json", false, "emit one JSON object per experiment instead of text")
 	flag.Parse()
 
@@ -98,6 +99,18 @@ func main() {
 			probes = 200000
 		}
 		emit("throughput", exp.Throughput(probes))
+	}
+	if sel("swap") {
+		packets := 98304
+		if *quick {
+			packets = 32768
+		}
+		res := exp.Swap(packets)
+		emit("swap", res.Table)
+		if res.Mixed != 0 || res.Dropped != 0 {
+			fmt.Fprintf(os.Stderr, "experiments: swap audit FAILED: %d mixed, %d dropped\n", res.Mixed, res.Dropped)
+			os.Exit(1)
+		}
 	}
 	if sel("fig10") {
 		if *quick {

@@ -1,0 +1,354 @@
+// Command netd is the long-running network daemon: it loads a Stateful
+// NetKAT program, serves traffic through the live dataplane engine, and
+// exposes a northbound HTTP/JSON API to reprogram the network *while it
+// forwards* — the zero-downtime consistent hot-swap of internal/ctrl.
+//
+//	netd -app firewall -addr :8080 -workers 4
+//
+// API (all JSON):
+//
+//	GET  /healthz   liveness
+//	GET  /status    program, epoch, swap history, engine snapshot
+//	GET  /stats     per-switch hop counts, event views, queue depths
+//	POST /program   submit a program: {"app":"bandwidth-cap","cap":20}
+//	                or {"name":"p2","source":"...","init":[0]}; compiles
+//	                and stages it, returns its shape
+//	POST /swap      hot-swap to the staged (or inline) program; returns
+//	                the swap report once the old program has drained
+//	POST /inject    {"host":"H1","fields":{"dst":104},"count":3}
+//	POST /quiesce   block until all queued traffic has drained
+//
+// Programs submitted by name reuse the built-in applications; programs
+// submitted as source are parsed over the daemon's topology. Successive
+// revisions compile as deltas through the controller's cross-generation
+// cache. SIGINT/SIGTERM shut down gracefully: the HTTP server stops
+// accepting, in-flight requests finish, and the engine stops leak-free.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/ctrl"
+	"eventnet/internal/dataplane"
+	"eventnet/internal/netkat"
+	"eventnet/internal/stateful"
+	"eventnet/internal/syntax"
+	"eventnet/internal/topo"
+)
+
+// server is the northbound API over one controller.
+type server struct {
+	c *ctrl.Controller
+
+	mu     sync.Mutex
+	staged *stagedProgram
+	nextID atomic.Int64 // auto-assigned packet ids for count-injections
+}
+
+type stagedProgram struct {
+	name string
+	prog stateful.Program
+}
+
+// programRequest is the body of POST /program and POST /swap.
+type programRequest struct {
+	Name     string `json:"name"`
+	App      string `json:"app"`
+	Cap      int    `json:"cap"`
+	Diameter int    `json:"diameter"`
+	Source   string `json:"source"`
+	Init     []int  `json:"init"`
+}
+
+// injectRequest is the body of POST /inject.
+type injectRequest struct {
+	Host   string         `json:"host"`
+	Fields map[string]int `json:"fields"`
+	Count  int            `json:"count"`
+}
+
+// httpError is the JSON error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func fail(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+// appByName resolves a built-in application.
+func appByName(req programRequest) (apps.App, error) {
+	switch req.App {
+	case "firewall":
+		return apps.Firewall(), nil
+	case "learning-switch":
+		return apps.LearningSwitch(), nil
+	case "authentication":
+		return apps.Authentication(), nil
+	case "bandwidth-cap":
+		n := req.Cap
+		if n <= 0 {
+			n = 10
+		}
+		return apps.BandwidthCap(n), nil
+	case "ids":
+		return apps.IDS(), nil
+	case "walled-garden":
+		return apps.WalledGarden(), nil
+	case "distributed-firewall":
+		return apps.DistributedFirewall(), nil
+	case "ring":
+		d := req.Diameter
+		if d <= 0 {
+			d = 3
+		}
+		return apps.Ring(d), nil
+	case "ids-fattree":
+		return apps.IDSFatTree(4), nil
+	}
+	return apps.App{}, fmt.Errorf("unknown app %q", req.App)
+}
+
+// topoKey fingerprints a topology for compatibility checks: programs can
+// only be swapped onto the network they were written for.
+func topoKey(t *topo.Topology) string {
+	return fmt.Sprintf("%v|%v|%v", t.Switches, t.Hosts, t.Links)
+}
+
+// resolve turns a program request into a named program over the daemon's
+// topology.
+func (s *server) resolve(req programRequest) (string, stateful.Program, error) {
+	switch {
+	case req.App != "":
+		a, err := appByName(req)
+		if err != nil {
+			return "", stateful.Program{}, err
+		}
+		if topoKey(a.Topo) != topoKey(s.c.Topology()) {
+			return "", stateful.Program{}, fmt.Errorf("app %s runs on a different topology than this daemon", a.Name)
+		}
+		name := req.Name
+		if name == "" {
+			name = a.Name
+		}
+		return name, a.Prog, nil
+	case req.Source != "":
+		prog, err := syntax.ParseProgram(req.Source, req.Init)
+		if err != nil {
+			return "", stateful.Program{}, fmt.Errorf("parsing program: %w", err)
+		}
+		name := req.Name
+		if name == "" {
+			name = "submitted"
+		}
+		return name, prog, nil
+	}
+	return "", stateful.Program{}, fmt.Errorf("one of \"app\" or \"source\" is required")
+}
+
+func (s *server) handleProgram(w http.ResponseWriter, r *http.Request) {
+	var req programRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	name, prog, err := s.resolve(req)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Compile now: submission validates the program and warms the
+	// cross-generation cache, so the later swap is a pure cache hit.
+	p, err := s.c.Compile(name, prog)
+	if err != nil {
+		fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.staged = &stagedProgram{name: name, prog: prog}
+	s.mu.Unlock()
+	rules := 0
+	for _, cfg := range p.NES.Configs {
+		rules += cfg.Tables.TotalRules()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"staged":     name,
+		"states":     len(p.NES.Configs),
+		"events":     len(p.NES.Events),
+		"rules":      rules,
+		"compile_ms": float64(p.Compile.Microseconds()) / 1000,
+	})
+}
+
+func (s *server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	var req programRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			fail(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+	}
+	var name string
+	var prog stateful.Program
+	fromStaged := req.App == "" && req.Source == ""
+	if fromStaged {
+		s.mu.Lock()
+		st := s.staged
+		s.mu.Unlock()
+		if st == nil {
+			fail(w, http.StatusBadRequest, "no staged program; POST /program first or inline one")
+			return
+		}
+		name, prog = st.name, st.prog
+	} else {
+		var err error
+		if name, prog, err = s.resolve(req); err != nil {
+			fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	rep, err := s.c.Swap(name, prog)
+	if err != nil {
+		// The staged program is kept: a failed swap (e.g. one already in
+		// progress) must not force the client to resubmit.
+		fail(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if fromStaged {
+		s.mu.Lock()
+		if s.staged != nil && s.staged.name == name {
+			s.staged = nil // consumed on success only
+		}
+		s.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *server) handleInject(w http.ResponseWriter, r *http.Request) {
+	var req injectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Count <= 0 {
+		req.Count = 1
+	}
+	for i := 0; i < req.Count; i++ {
+		fields := netkat.Packet{}
+		for f, v := range req.Fields {
+			fields[f] = v
+		}
+		if req.Count > 1 {
+			fields["id"] = int(s.nextID.Add(1))
+		}
+		if err := s.c.Inject(req.Host, fields); err != nil {
+			fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"injected": req.Count})
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.c.Status())
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.c.Status()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"program":     st.Program,
+		"epoch":       st.Epoch,
+		"swapping":    st.Swapping,
+		"generation":  st.Engine.Generation,
+		"processed":   st.Engine.Processed,
+		"deliveries":  st.Engine.Deliveries,
+		"ttl_dropped": st.Engine.TTLDropped,
+		"pending":     st.Engine.Pending,
+		"switches":    st.Engine.Switches,
+	})
+}
+
+func (s *server) handleQuiesce(w http.ResponseWriter, r *http.Request) {
+	s.c.Quiesce()
+	writeJSON(w, http.StatusOK, map[string]any{"quiesced": true})
+}
+
+// newServer wires the API routes (split out for the smoke test).
+func newServer(c *ctrl.Controller) (*server, http.Handler) {
+	s := &server{c: c}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /program", s.handleProgram)
+	mux.HandleFunc("POST /swap", s.handleSwap)
+	mux.HandleFunc("POST /inject", s.handleInject)
+	mux.HandleFunc("POST /quiesce", s.handleQuiesce)
+	return s, mux
+}
+
+func main() {
+	appName := flag.String("app", "firewall", "initial application (firewall, learning-switch, authentication, bandwidth-cap, ids, walled-garden, distributed-firewall, ring, ids-fattree)")
+	capN := flag.Int("cap", 10, "bandwidth cap n (for -app bandwidth-cap)")
+	diameter := flag.Int("diameter", 3, "ring diameter (for -app ring)")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "forwarding workers")
+	mode := flag.String("dataplane", "indexed", "forwarding mode: indexed or scan")
+	flag.Parse()
+
+	m, ok := dataplane.ParseMode(*mode)
+	if !ok {
+		log.Fatalf("netd: unknown -dataplane %q", *mode)
+	}
+	a, err := appByName(programRequest{App: *appName, Cap: *capN, Diameter: *diameter})
+	if err != nil {
+		log.Fatalf("netd: %v", err)
+	}
+
+	// Bound the delivery log: a daemon must not retain every packet it
+	// ever delivered.
+	c := ctrl.New(a.Topo, ctrl.Options{Workers: *workers, Mode: m, DeliveryLog: 1 << 16})
+	if err := c.Load(a.Name, a.Prog); err != nil {
+		log.Fatalf("netd: loading %s: %v", a.Name, err)
+	}
+	_, handler := newServer(c)
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	go func() {
+		log.Printf("netd: serving %s on %s (%d workers, %s dataplane)", a.Name, *addr, *workers, m)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("netd: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("netd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("netd: shutdown: %v", err)
+	}
+	c.Close()
+}

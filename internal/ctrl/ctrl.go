@@ -1,0 +1,457 @@
+// Package ctrl is the live-update controller: it owns a running
+// dataplane.Engine and replaces its Stateful NetKAT program at runtime
+// with per-packet consistency — the Reitblatt-style two-phase update
+// discipline the paper's version tags already encode, extended across
+// *programs* with Section 4's tag/digest semantics.
+//
+// A swap of the running program P for an incoming P' proceeds as:
+//
+//  1. compile P' through the incremental pipeline, reusing FDDs,
+//     segments and whole configurations across swap generations
+//     (nkc.ProgramCache), so revisions compile as deltas;
+//  2. install P' tables behind fresh version guards (the
+//     dataplane.MergedPair staged shape — phase one, invisible to
+//     in-flight traffic);
+//  3. at a generation barrier, atomically flip ingress tagging to P'
+//     and map each switch's established event knowledge into P' by
+//     canonical event-history replay (nes.Replay);
+//  4. drain: in-flight P-tagged packets finish their journeys under P
+//     rules exclusively, while detections they still make are carried
+//     into P' views through the event mapping;
+//  5. once nothing P-tagged remains, retire P and invalidate its plan.
+//
+// Forwarding never pauses, and no packet journey ever mixes P and P'
+// rules. See docs/CONTROLLER.md for the state-mapping rule and why the
+// discipline preserves the paper's Theorem 1 per program generation.
+package ctrl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eventnet/internal/dataplane"
+	"eventnet/internal/ets"
+	"eventnet/internal/nes"
+	"eventnet/internal/netkat"
+	"eventnet/internal/nkc"
+	"eventnet/internal/stateful"
+	"eventnet/internal/topo"
+)
+
+// Options configure a Controller.
+type Options struct {
+	// Workers is the engine's forwarding worker count (and the compile
+	// pool size). Defaults to 1.
+	Workers int
+	// Mode selects the engine's forwarding implementation.
+	Mode dataplane.Mode
+	// SwapTimeout bounds how long Swap waits for the old program to
+	// drain. Defaults to 30s.
+	SwapTimeout time.Duration
+	// DeliveryLog bounds the engine's retained delivery log (0 =
+	// unlimited; long-running daemons must set it — see
+	// dataplane.Options.DeliveryLog).
+	DeliveryLog int
+}
+
+// Program is one compiled program generation.
+type Program struct {
+	Name    string
+	Prog    stateful.Program
+	ETS     *ets.ETS
+	NES     *nes.NES
+	Stats   ets.Stats
+	Compile time.Duration
+}
+
+// StateOf returns the state vector behind a configuration tag (tags are
+// ETS vertex IDs), for mapping a delivery stamp back to a projected
+// policy.
+func (p *Program) StateOf(version int) (stateful.State, bool) {
+	if version < 0 || version >= len(p.ETS.Vertices) {
+		return nil, false
+	}
+	return p.ETS.Vertices[version].State, true
+}
+
+// SwapReport describes one completed swap.
+type SwapReport struct {
+	From      string  `json:"from"`
+	To        string  `json:"to"`
+	CompileMS float64 `json:"compile_ms"`
+	// States/Events/Rules describe the incoming program.
+	States int `json:"states"`
+	Events int `json:"events"`
+	Rules  int `json:"rules"`
+	// StagedRules is the size of the phase-one staged install: both
+	// programs' rules behind disjoint version guards (MergedPair), the
+	// physical table a deployment would hold during the transition.
+	StagedRules int `json:"staged_rules"`
+	TagOffset   int `json:"tag_offset"`
+	// MappedEvents counts old events with a counterpart in the new
+	// program; CarriedEvents is the knowledge actually admitted into the
+	// new views at the flip barrier (summed over switches).
+	MappedEvents  int `json:"mapped_events"`
+	CarriedEvents int `json:"carried_events"`
+	// LatencyMS is stage-to-retire wall time; TransitionMS the flip-to-
+	// retire drain window; the hop counts cover that window.
+	LatencyMS      float64 `json:"latency_ms"`
+	TransitionMS   float64 `json:"transition_ms"`
+	FlipGen        int64   `json:"flip_gen"`
+	RetireGen      int64   `json:"retire_gen"`
+	TransitionHops int64   `json:"transition_hops"`
+	DrainedHops    int64   `json:"drained_hops"`
+}
+
+// Status is the controller's monitoring view.
+type Status struct {
+	Program  string             `json:"program"`
+	Epoch    int                `json:"epoch"`
+	Swapping bool               `json:"swapping"`
+	Swaps    []SwapReport       `json:"swaps,omitempty"`
+	Engine   dataplane.Snapshot `json:"engine"`
+}
+
+// Controller owns a served dataplane engine and hot-swaps its program.
+// All methods are safe for concurrent use; swaps are serialized.
+type Controller struct {
+	mu     sync.Mutex // guards cur, swaps, progs, staged, eng
+	swapMu sync.Mutex // serializes Swap end to end (compile -> retire)
+	topo   *topo.Topology
+	opts   Options
+	cache  *nkc.ProgramCache
+	eng    *dataplane.Engine
+	cur    *Program
+	swaps  []SwapReport
+	close  sync.Once
+
+	// progs memoizes compiled program generations by canonical program
+	// text, most-recently-used last. Swapping back to a recent program is
+	// then allocation-free: the same NES instance returns, its compiled
+	// plan is still cached, and the staged merged tables are reused — on
+	// a busy controller the A<->B ping-pong costs no compile work and no
+	// GC debt at all. Plans are invalidated when their generation falls
+	// out of this window (or at Close), never while it might swap back in.
+	progs  []*Program
+	staged map[[2]*nes.NES]stagedTables
+}
+
+// stagedTables caches the phase-one merged install per program pair.
+type stagedTables struct {
+	rules  int
+	offset int
+}
+
+// progMemoLimit bounds the retained program generations.
+const progMemoLimit = 8
+
+// New builds a controller for a topology. Load a first program before
+// injecting traffic.
+func New(t *topo.Topology, o Options) *Controller {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.SwapTimeout <= 0 {
+		o.SwapTimeout = 30 * time.Second
+	}
+	return &Controller{topo: t, opts: o, cache: nkc.NewProgramCache(), staged: map[[2]*nes.NES]stagedTables{}}
+}
+
+// progKey is a program's memo identity: its canonical rendering plus the
+// initial state (the topology and backend are fixed per controller).
+func progKey(p stateful.Program) string {
+	return p.Init.Key() + "|" + p.Cmd.String()
+}
+
+// Compile runs a program through the incremental pipeline, sharing the
+// controller's cross-generation compiler cache, and memoizes whole
+// generations: recompiling an unchanged program returns the same
+// *Program — same NES identity, same cached plan.
+func (c *Controller) Compile(name string, p stateful.Program) (*Program, error) {
+	key := progKey(p)
+	c.mu.Lock()
+	for i, g := range c.progs {
+		if progKey(g.Prog) == key {
+			c.progs = append(append(c.progs[:i:i], c.progs[i+1:]...), g) // refresh LRU position
+			c.mu.Unlock()
+			return g, nil
+		}
+	}
+	c.mu.Unlock()
+
+	start := time.Now()
+	e, stats, err := ets.BuildWithOptions(p, c.topo, ets.Options{Workers: c.opts.Workers, Cache: c.cache})
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: compiling %s: %w", name, err)
+	}
+	n, err := e.ToNES()
+	if err != nil {
+		return nil, fmt.Errorf("ctrl: converting %s: %w", name, err)
+	}
+	g := &Program{Name: name, Prog: p, ETS: e, NES: n, Stats: stats, Compile: time.Since(start)}
+	c.mu.Lock()
+	c.progs = append(c.progs, g)
+	for len(c.progs) > progMemoLimit {
+		evicted := c.progs[0]
+		c.progs = c.progs[1:]
+		if evicted != c.cur {
+			c.dropGeneration(evicted)
+		}
+	}
+	c.mu.Unlock()
+	return g, nil
+}
+
+// dropGeneration releases a retired program generation's cached
+// artifacts: its compiled plan (dataplane.Invalidate — without this the
+// plan cache would pin every program the controller ever ran) and its
+// staged merged tables.
+func (c *Controller) dropGeneration(g *Program) {
+	dataplane.Invalidate(g.NES)
+	for k := range c.staged {
+		if k[0] == g.NES || k[1] == g.NES {
+			delete(c.staged, k)
+		}
+	}
+}
+
+// Load compiles and installs the first program and starts the engine in
+// served mode. It can be called once.
+func (c *Controller) Load(name string, p stateful.Program) error {
+	np, err := c.Compile(name, p)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.eng != nil {
+		return fmt.Errorf("ctrl: a program is already loaded; use Swap")
+	}
+	c.cur = np
+	c.eng = dataplane.NewEngine(np.NES, c.topo, dataplane.Options{
+		Workers:     c.opts.Workers,
+		Mode:        c.opts.Mode,
+		DeliveryLog: c.opts.DeliveryLog,
+	})
+	c.eng.Start()
+	return nil
+}
+
+// EventMapping matches the events of two programs by identity — guard,
+// location, and occurrence number — returning old-ID -> new-ID (-1 for
+// no counterpart) and the number of mapped events. This is the canonical
+// correspondence behind the swap's state mapping: an old event and its
+// counterpart denote the *same observable packet arrival*, so knowledge
+// of one is knowledge of the other.
+func EventMapping(old, new_ *nes.NES) ([]int, int) {
+	idx := make(map[string]int, len(new_.Events))
+	for _, ev := range new_.Events {
+		idx[eventKey(ev)] = ev.ID
+	}
+	size := 0
+	for _, ev := range old.Events {
+		if ev.ID+1 > size {
+			size = ev.ID + 1
+		}
+	}
+	m := make([]int, size)
+	for i := range m {
+		m[i] = -1
+	}
+	mapped := 0
+	for _, ev := range old.Events {
+		if id, ok := idx[eventKey(ev)]; ok {
+			m[ev.ID] = id
+			mapped++
+		}
+	}
+	return m, mapped
+}
+
+// eventKey is an event's swap-stable identity.
+func eventKey(ev nes.Event) string {
+	return fmt.Sprintf("%s@%v#%d", ev.Guard.Key(), ev.Loc, ev.Occurrence)
+}
+
+// Swap hot-swaps the running program: compile, stage, flip at a barrier,
+// drain, retire. It blocks until the old program has fully drained (or
+// SwapTimeout passes) and returns the completed swap's report.
+// Forwarding continues throughout. Swaps are fully serialized — a
+// concurrent Swap waits rather than computing its event mapping against
+// a predecessor that is about to change.
+func (c *Controller) Swap(name string, p stateful.Program) (SwapReport, error) {
+	c.swapMu.Lock()
+	defer c.swapMu.Unlock()
+
+	np, err := c.Compile(name, p)
+	if err != nil {
+		return SwapReport{}, err
+	}
+
+	c.mu.Lock()
+	if c.eng == nil {
+		c.mu.Unlock()
+		return SwapReport{}, fmt.Errorf("ctrl: no program loaded")
+	}
+	old := c.cur
+	eng := c.eng
+	pair := [2]*nes.NES{old.NES, np.NES}
+	stg, haveStaged := c.staged[pair]
+	c.mu.Unlock()
+
+	// Phase one: the staged install — both programs' rules behind
+	// disjoint exact version guards. The engine forwards through the
+	// equivalent per-epoch compiled plans (the guard-partition
+	// equivalence is property-tested in internal/dataplane); the merged
+	// shape is what a switch deployment would install, and its size is
+	// the transition's rule-memory cost. Both the merged tables and the
+	// new plan are warmed *before* the flip, so the barrier installs,
+	// never compiles — and both are memoized, so a swap back is free.
+	if !haveStaged {
+		tables, off := dataplane.MergedPair(old.NES, np.NES)
+		stg = stagedTables{rules: tables.TotalRules(), offset: off}
+		c.mu.Lock()
+		c.staged[pair] = stg
+		c.mu.Unlock()
+	}
+	dataplane.PlanFor(np.NES)
+
+	mapping, mapped := EventMapping(old.NES, np.NES)
+	sw, err := eng.StageSwap(dataplane.SwapSpec{NES: np.NES, MapEvent: mapping})
+	if err != nil {
+		return SwapReport{}, err
+	}
+	// The flip has happened: the engine's ingress program *is* np from
+	// here on, so reconcile cur immediately — even if the drain outlasts
+	// the timeout below, Status and the next swap's event mapping must
+	// describe the program actually running.
+	c.mu.Lock()
+	c.cur = np
+	c.mu.Unlock()
+	select {
+	case <-sw.Done():
+	case <-time.After(c.opts.SwapTimeout):
+		return SwapReport{}, fmt.Errorf("ctrl: swap %s -> %s flipped but did not drain within %v", old.Name, name, c.opts.SwapTimeout)
+	}
+	st := sw.Stats()
+
+	// Phase two complete. The retired generation stays memoized for a
+	// swap back; its plan is invalidated when it falls out of the memo
+	// window (dropGeneration) rather than eagerly, so the A<->B ping-pong
+	// of a busy controller never recompiles anything.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	rules := 0
+	for _, cfg := range np.NES.Configs {
+		rules += cfg.Tables.TotalRules()
+	}
+	rep := SwapReport{
+		From:           old.Name,
+		To:             name,
+		CompileMS:      float64(np.Compile.Microseconds()) / 1000,
+		States:         len(np.NES.Configs),
+		Events:         len(np.NES.Events),
+		Rules:          rules,
+		StagedRules:    stg.rules,
+		TagOffset:      stg.offset,
+		MappedEvents:   mapped,
+		CarriedEvents:  st.CarriedEvents,
+		LatencyMS:      float64(st.RetiredAt.Sub(st.StagedAt).Microseconds()) / 1000,
+		TransitionMS:   float64(st.RetiredAt.Sub(st.FlipAt).Microseconds()) / 1000,
+		FlipGen:        st.FlipGen,
+		RetireGen:      st.RetireGen,
+		TransitionHops: st.TransitionHops,
+		DrainedHops:    st.DrainedHops,
+	}
+	c.swaps = append(c.swaps, rep)
+	return rep, nil
+}
+
+// Inject queues a packet from the named host; it is admitted and stamped
+// at the engine's next generation barrier.
+func (c *Controller) Inject(host string, fields netkat.Packet) error {
+	eng := c.engine()
+	if eng == nil {
+		return fmt.Errorf("ctrl: no program loaded")
+	}
+	return eng.InjectAsync(host, fields)
+}
+
+// Quiesce blocks until the engine has drained all queued traffic.
+func (c *Controller) Quiesce() {
+	if eng := c.engine(); eng != nil {
+		eng.Quiesce()
+	}
+}
+
+// DeliveredTo returns the packets delivered to a host so far
+// (barrier-consistent).
+func (c *Controller) DeliveredTo(host string) []netkat.Packet {
+	eng := c.engine()
+	if eng == nil {
+		return nil
+	}
+	var out []netkat.Packet
+	for _, d := range eng.CopyDeliveries(0) {
+		if d.Host == host {
+			out = append(out, d.Fields)
+		}
+	}
+	return out
+}
+
+// Status returns the controller's monitoring view.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	name := ""
+	if c.cur != nil {
+		name = c.cur.Name
+	}
+	swaps := append([]SwapReport{}, c.swaps...)
+	eng := c.eng
+	c.mu.Unlock()
+	s := Status{Program: name, Swaps: swaps}
+	if eng != nil {
+		s.Engine = eng.Snapshot()
+		s.Epoch = s.Engine.Epoch
+		s.Swapping = s.Engine.Swapping
+	}
+	return s
+}
+
+// Current returns the running program (nil before Load).
+func (c *Controller) Current() *Program {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// Engine exposes the underlying engine for experiments and tests.
+func (c *Controller) Engine() *dataplane.Engine { return c.engine() }
+
+func (c *Controller) engine() *dataplane.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eng
+}
+
+// Topology returns the controller's topology.
+func (c *Controller) Topology() *topo.Topology { return c.topo }
+
+// Close stops the engine and releases every memoized generation's cached
+// plan. Idempotent; safe before Load.
+func (c *Controller) Close() {
+	c.close.Do(func() {
+		if eng := c.engine(); eng != nil {
+			eng.Stop()
+		}
+		c.mu.Lock()
+		for _, g := range c.progs {
+			c.dropGeneration(g)
+		}
+		c.progs = nil
+		c.mu.Unlock()
+	})
+}

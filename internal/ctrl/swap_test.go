@@ -1,0 +1,302 @@
+package ctrl_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/ctrl"
+	"eventnet/internal/dataplane"
+	"eventnet/internal/ets"
+	"eventnet/internal/netkat"
+	"eventnet/internal/stateful"
+	"eventnet/internal/topo"
+)
+
+// compileProgram builds a ctrl.Program without a controller (tests drive
+// the engine synchronously for determinism).
+func compileProgram(t testing.TB, a apps.App) *ctrl.Program {
+	t.Helper()
+	e, err := ets.Build(a.Prog, a.Topo)
+	if err != nil {
+		t.Fatalf("%s: ets.Build: %v", a.Name, err)
+	}
+	n, err := e.ToNES()
+	if err != nil {
+		t.Fatalf("%s: ToNES: %v", a.Name, err)
+	}
+	return &ctrl.Program{Name: a.Name, Prog: a.Prog, ETS: e, NES: n}
+}
+
+// expectedSet computes the deliveries netkat.Eval predicts for an
+// injection under its stamp: the program named by the stamp's epoch,
+// projected at the state behind the stamp's version, applied to the
+// packet at the ingress attachment port. Journey outputs at host-facing
+// ports are deliveries.
+func expectedSet(t *testing.T, p *ctrl.Program, tp *topo.Topology, host string, fields netkat.Packet, st dataplane.Stamp) map[string]bool {
+	t.Helper()
+	state, ok := p.StateOf(st.Version)
+	if !ok {
+		t.Fatalf("stamp version %d out of range for %s", st.Version, p.Name)
+	}
+	pol := stateful.Project(p.Prog.Cmd, state)
+	h, _ := tp.HostByName(host)
+	out := map[string]bool{}
+	for _, lp := range netkat.Eval(pol, netkat.LocatedPacket{Pkt: fields, Loc: h.Attach}) {
+		if lk, ok := tp.LinkFrom(lp.Loc); ok {
+			if hh, isHost := tp.HostByID(lk.Dst.Switch); isHost {
+				out[hh.Name+"|"+lp.Pkt.Key()] = true
+			}
+		}
+	}
+	return out
+}
+
+type injection struct {
+	host   string
+	fields netkat.Packet
+}
+
+// runSwapScenario drives a deterministic randomized scenario on a
+// synchronous engine: seeded traffic rounds, a swap staged at a seeded
+// round with packets mid-journey (Step leaves them between hops), then a
+// drain. It verifies per-packet consistency — every delivery carries its
+// injection's stamp, and the delivery set of every injection equals
+// exactly what netkat.Eval predicts for the stamped program — and
+// returns the full delivery sequence for cross-worker comparison.
+func runSwapScenario(t *testing.T, old, new_ *ctrl.Program, tp *topo.Topology, seed int64, workers int, mode dataplane.Mode) []dataplane.Delivery {
+	t.Helper()
+	e := dataplane.NewEngine(old.NES, tp, dataplane.Options{Workers: workers, Mode: mode})
+	mapping, _ := ctrl.EventMapping(old.NES, new_.NES)
+
+	r := rand.New(rand.NewSource(seed))
+	hosts := append([]topo.Host{}, tp.Hosts...)
+
+	const rounds = 8
+	swapRound := 1 + r.Intn(rounds-2)
+	var sw *dataplane.Swap
+	stamps := map[int]dataplane.Stamp{}
+	injected := map[int]injection{}
+	id := 0
+	for round := 0; round < rounds; round++ {
+		if round == swapRound {
+			var err error
+			sw, err = e.StageSwap(dataplane.SwapSpec{NES: new_.NES, MapEvent: mapping})
+			if err != nil {
+				t.Fatalf("StageSwap: %v", err)
+			}
+		}
+		for j, k := 0, 2+r.Intn(4); j < k; j++ {
+			src := hosts[r.Intn(len(hosts))]
+			dst := hosts[r.Intn(len(hosts))]
+			f := netkat.Packet{"dst": dst.ID, "src": src.ID, "id": id}
+			st, err := e.InjectStamped(src.Name, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stamps[id] = st
+			injected[id] = injection{host: src.Name, fields: f.Clone()}
+			id++
+		}
+		// Partial progress: packets stay mid-journey across rounds, so the
+		// flip lands with both epochs in flight.
+		e.Step(r.Intn(3))
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sw.Done():
+	default:
+		t.Fatal("swap did not complete after the network drained")
+	}
+
+	byID := map[int][]dataplane.Delivery{}
+	for _, d := range e.Deliveries() {
+		i, ok := d.Fields["id"]
+		if !ok {
+			t.Fatalf("delivery without id: %v", d)
+		}
+		if d.Stamp != stamps[i] {
+			t.Fatalf("packet %d delivered under stamp %+v but was injected under %+v: journey mixed rule sets", i, d.Stamp, stamps[i])
+		}
+		byID[i] = append(byID[i], d)
+	}
+	for i, in := range injected {
+		p := old
+		if stamps[i].Epoch != 0 {
+			p = new_
+		}
+		want := expectedSet(t, p, tp, in.host, in.fields, stamps[i])
+		got := map[string]bool{}
+		for _, d := range byID[i] {
+			key := d.Host + "|" + d.Fields.Key()
+			if got[key] {
+				t.Fatalf("packet %d delivered twice as %s", i, key)
+			}
+			got[key] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("packet %d (stamp %+v, program %s): delivered %v, Eval predicts %v", i, stamps[i], p.Name, got, want)
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("packet %d: Eval predicts %s, not delivered", i, k)
+			}
+		}
+	}
+	return e.Deliveries()
+}
+
+// swapPairs are the program transitions the properties quantify over:
+// a cross-application swap (firewall -> bandwidth cap, sharing the
+// outgoing-arrival event) and a same-application revision (cap raise).
+func swapPairs(t *testing.T) [][2]*ctrl.Program {
+	fw := compileProgram(t, apps.Firewall())
+	cap8 := compileProgram(t, apps.BandwidthCap(8))
+	cap6 := compileProgram(t, apps.BandwidthCap(6))
+	cap12 := compileProgram(t, apps.BandwidthCap(12))
+	return [][2]*ctrl.Program{
+		{fw, cap8},
+		{cap6, cap12},
+		{cap12, fw}, // downgrade: most new-program events have no counterpart
+	}
+}
+
+// TestSwapPerPacketConsistency is the acceptance property for live swaps:
+// across randomized swap points, no packet journey ever mixes P and P'
+// rules — every delivery matches its injection's stamped program exactly,
+// verified against netkat.Eval on both programs — under both forwarding
+// planes. Run with -race in CI.
+func TestSwapPerPacketConsistency(t *testing.T) {
+	tp := topo.Firewall()
+	for _, pair := range swapPairs(t) {
+		for _, mode := range []dataplane.Mode{dataplane.ModeIndexed, dataplane.ModeScan} {
+			name := fmt.Sprintf("%s->%s/%v", pair[0].Name, pair[1].Name, mode)
+			t.Run(name, func(t *testing.T) {
+				for seed := int64(1); seed <= 12; seed++ {
+					runSwapScenario(t, pair[0], pair[1], tp, seed, 1+int(seed)%4, mode)
+				}
+			})
+		}
+	}
+}
+
+// TestSwapDeterministicAcrossWorkers: the delivery sequence of a swap
+// scenario — including stamps — is bit-identical at 1, 2 and 4 workers,
+// and identical between the indexed and scan planes.
+func TestSwapDeterministicAcrossWorkers(t *testing.T) {
+	tp := topo.Firewall()
+	pair := swapPairs(t)[0]
+	for seed := int64(1); seed <= 4; seed++ {
+		base := runSwapScenario(t, pair[0], pair[1], tp, seed, 1, dataplane.ModeIndexed)
+		if len(base) == 0 {
+			t.Fatalf("seed %d delivered nothing; scenario is vacuous", seed)
+		}
+		for _, w := range []int{2, 4} {
+			got := runSwapScenario(t, pair[0], pair[1], tp, seed, w, dataplane.ModeIndexed)
+			assertSameDeliveries(t, base, got, fmt.Sprintf("seed %d workers %d", seed, w))
+		}
+		scan := runSwapScenario(t, pair[0], pair[1], tp, seed, 4, dataplane.ModeScan)
+		assertSameDeliveries(t, base, scan, fmt.Sprintf("seed %d scan plane", seed))
+	}
+}
+
+func assertSameDeliveries(t *testing.T, a, b []dataplane.Delivery, ctx string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d deliveries", ctx, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Host != b[i].Host || a[i].Stamp != b[i].Stamp || !a[i].Fields.Equal(b[i].Fields) {
+			t.Fatalf("%s: delivery %d differs: %+v vs %+v", ctx, i, a[i], b[i])
+		}
+	}
+}
+
+// TestControllerSwapCarriesKnowledge drives the served controller
+// end-to-end: the firewall's established event knowledge (the opened
+// return path) survives a swap to the bandwidth cap — the cap starts
+// counting from the firewall's history instead of resetting — and a swap
+// back to the firewall carries it again.
+func TestControllerSwapCarriesKnowledge(t *testing.T) {
+	fw := apps.Firewall()
+	c := ctrl.New(fw.Topo, ctrl.Options{Workers: 2})
+	defer c.Close()
+	if err := c.Load("firewall", fw.Prog); err != nil {
+		t.Fatal(err)
+	}
+
+	// Open the return path under the firewall.
+	if err := c.Inject("H1", netkat.Packet{"dst": apps.H(4), "src": apps.H(1)}); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce()
+	if got := len(c.DeliveredTo("H4")); got != 1 {
+		t.Fatalf("outgoing not delivered: %d", got)
+	}
+
+	capApp := apps.BandwidthCap(3)
+	rep, err := c.Swap(capApp.Name, capApp.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MappedEvents != 1 {
+		t.Fatalf("firewall's event should map into the cap: %+v", rep)
+	}
+	if rep.CarriedEvents == 0 {
+		t.Fatalf("no knowledge carried at the flip: %+v", rep)
+	}
+
+	// The cap inherited count=1: the return path is open immediately.
+	if err := c.Inject("H4", netkat.Packet{"dst": apps.H(1), "src": apps.H(4)}); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce()
+	if got := len(c.DeliveredTo("H1")); got != 1 {
+		t.Fatalf("return path closed after swap: carried knowledge lost (%d delivered)", got)
+	}
+
+	// Swap back: the cap's history maps onto the firewall's single event.
+	rep2, err := c.Swap("firewall", fw.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.CarriedEvents == 0 {
+		t.Fatalf("swap back carried nothing: %+v", rep2)
+	}
+	if err := c.Inject("H4", netkat.Packet{"dst": apps.H(1), "src": apps.H(4), "id": 2}); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce()
+	if got := len(c.DeliveredTo("H1")); got != 2 {
+		t.Fatalf("return path closed after swapping back (%d delivered)", got)
+	}
+	st := c.Status()
+	if st.Program != "firewall" || st.Epoch != 2 || len(st.Swaps) != 2 {
+		t.Fatalf("status after two swaps: %+v", st)
+	}
+}
+
+// TestSwapRejectsConcurrent: only one transition may be active.
+func TestSwapRejectsConcurrent(t *testing.T) {
+	fw := compileProgram(t, apps.Firewall())
+	cap8 := compileProgram(t, apps.BandwidthCap(8))
+	e := dataplane.NewEngine(fw.NES, topo.Firewall(), dataplane.Options{})
+	// Keep a packet in flight so the first swap stays draining.
+	if err := e.Inject("H1", netkat.Packet{"dst": apps.H(4), "src": apps.H(1)}); err != nil {
+		t.Fatal(err)
+	}
+	e.Step(1)
+	mapping, _ := ctrl.EventMapping(fw.NES, cap8.NES)
+	if _, err := e.StageSwap(dataplane.SwapSpec{NES: cap8.NES, MapEvent: mapping}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.StageSwap(dataplane.SwapSpec{NES: fw.NES}); err == nil {
+		t.Fatal("second concurrent swap accepted")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"eventnet/internal/flowtable"
 	"eventnet/internal/nes"
@@ -13,14 +14,20 @@ import (
 
 // qpkt is an in-flight packet inside the engine. seq totally orders the
 // packets of a generation (assigned deterministically at the generation
-// barrier); branch distinguishes the copies one rule emission produced.
+// barrier); branch distinguishes the copies one rule emission produced;
+// epoch names the program generation whose rules must process the packet
+// (per-packet consistency across live swaps: the pair (epoch, version)
+// pins the packet to one configuration of one program for its whole
+// journey).
 type qpkt struct {
 	fields  netkat.Packet
 	inPort  int
+	epoch   int
 	version int
 	digest  nes.Set
 	seq     int64
 	branch  int32
+	hops    int32 // switch-hops taken so far (TTL against forwarding loops)
 }
 
 // ring is a growable ring buffer of packets: each switch's ingress queue.
@@ -64,10 +71,19 @@ func (r *ring) copyOut(dst []qpkt) int {
 	return n
 }
 
-// Delivery is a packet received by a host.
+// Stamp is the consistency metadata assigned to a packet at ingress: the
+// program epoch and the configuration tag within that program. A packet
+// is forwarded exclusively by configuration Version of epoch Epoch.
+type Stamp struct {
+	Epoch   int
+	Version int
+}
+
+// Delivery is a packet received by a host, with the stamp that carried it.
 type Delivery struct {
 	Host   string
 	Fields netkat.Packet
+	Stamp  Stamp
 }
 
 // outEntry is one packet emitted during a generation, tagged with its
@@ -81,9 +97,11 @@ type outEntry struct {
 // worker owns a shard of switches during a generation. All its fields are
 // private to one goroutine between barriers.
 type worker struct {
-	outbox    []outEntry
-	obuf      []flowtable.Output // matcher scratch
-	processed int64
+	outbox     []outEntry
+	obuf       []flowtable.Output // matcher scratch
+	processed  int64
+	drained    int64 // old-epoch hops during a transition
+	ttlDropped int64 // packets discarded by the hop TTL
 }
 
 // Options configure an Engine.
@@ -93,7 +111,79 @@ type Options struct {
 	Workers int
 	// Mode selects indexed matchers (default) or the linear-scan baseline.
 	Mode Mode
+	// DeliveryLog bounds how many deliveries the engine retains (0 =
+	// unlimited, the synchronous-mode default for tests and experiments
+	// that audit every delivery). A long-running service must set it:
+	// when the log exceeds the bound its older half is dropped, and
+	// CopyDeliveries keeps addressing by absolute index.
+	DeliveryLog int
 }
+
+// progState is one live program generation: its NES, its compiled plan,
+// and the per-switch event views *relative to that program's event
+// universe*. During a swap two progStates coexist — the draining old
+// program and the current one — and a packet's epoch selects which one
+// forwards it.
+type progState struct {
+	epoch    int
+	nes      *nes.NES
+	plan     *Plan
+	views    []nes.Set // per switch index, owner-worker mutated
+	inflight int64     // packets of this epoch queued in rings (maintained at barriers)
+}
+
+// gAt mirrors runtime.Machine.gAt: the configuration for a view, falling
+// back to the largest family member below it.
+func (ps *progState) gAt(v nes.Set) int {
+	if c, ok := ps.nes.ConfigAt(v); ok {
+		return c
+	}
+	best := nes.Empty
+	for _, f := range ps.nes.Family() {
+		if f.SubsetOf(v) && best.SubsetOf(f) {
+			best = f
+		}
+	}
+	c, _ := ps.nes.ConfigAt(best)
+	return c
+}
+
+// SwapSpec describes a staged program replacement.
+type SwapSpec struct {
+	// NES is the incoming program, fully compiled.
+	NES *nes.NES
+	// MapEvent maps old-program event IDs to new-program event IDs (-1 =
+	// no counterpart); len must equal the old program's event count. A nil
+	// map carries no knowledge across the swap.
+	MapEvent []int
+}
+
+// SwapStats reports what one completed swap did.
+type SwapStats struct {
+	StagedAt, FlipAt, RetiredAt time.Time
+	FlipGen, RetireGen          int64 // engine generation numbers
+	// TransitionHops is the number of switch-hops executed between flip
+	// and retire (both epochs); DrainedHops counts only old-epoch hops.
+	TransitionHops int64
+	DrainedHops    int64
+	// CarriedEvents is the total event knowledge admitted into the new
+	// program's switch views at the flip barrier (summed over switches).
+	CarriedEvents int
+}
+
+// Swap is the handle for one staged program replacement. Done is closed
+// when the old program has fully drained and been retired; Stats is valid
+// after Done.
+type Swap struct {
+	done  chan struct{}
+	stats SwapStats
+}
+
+// Done returns a channel closed when the swap has completed.
+func (s *Swap) Done() <-chan struct{} { return s.done }
+
+// Stats returns the swap's statistics; call only after Done.
+func (s *Swap) Stats() SwapStats { return s.stats }
 
 // Engine is the sharded forwarding engine: per-switch state (event view,
 // ingress ring) sharded over worker goroutines, processing packets in
@@ -109,16 +199,36 @@ type Options struct {
 // merged into a deterministic order at the generation barrier, the
 // delivery sequence is bit-identical for any worker count — sharding
 // changes wall-clock time, never behavior.
+//
+// On top of the per-NES tags the engine supports *live program swaps*
+// (StageSwap): packets additionally carry a program epoch, the engine
+// keeps one progState per live epoch, and a two-phase discipline — flip
+// ingress tagging at a generation barrier, drain the old epoch, retire —
+// replaces the whole program without pausing forwarding. See
+// docs/CONTROLLER.md.
+//
+// The engine has two driving modes. In synchronous mode (the original
+// API: Inject, Run) the caller owns the engine between calls and nothing
+// is concurrent. In served mode (Start) a supervisor goroutine runs
+// generations continuously; interaction goes through InjectAsync, Do,
+// Snapshot and Quiesce, all of which are applied atomically at generation
+// barriers. Stop shuts the supervisor down idempotently and leak-free.
 type Engine struct {
+	// NES and Topo are the engine's initial program and its topology.
+	// After a swap NES still names the *initial* program; use Snapshot
+	// for the live state.
 	NES  *nes.NES
 	Topo *topo.Topology
 
-	plan     *Plan
+	mode     Mode
 	workers  int
 	switches []int       // sorted switch IDs; shard w owns indices i ≡ w (mod workers)
 	swIdx    map[int]int // switch ID -> index
-	views    []nes.Set   // per switch index, owner-worker mutated
 	rings    []*ring     // per switch index, filled at barriers
+	hops     []int64     // per switch index, switch-hops executed (owner-worker mutated)
+
+	progs []*progState // live program epochs; the last is current for ingress
+	swap  *swapHandle  // active transition, nil otherwise
 
 	// Hot-path topology lookups, precomputed: Topology.LinkFrom rebuilds
 	// the whole link slice per call, which would put an allocation on
@@ -126,9 +236,43 @@ type Engine struct {
 	links map[netkat.Location]topo.Link
 	hosts map[int]topo.Host // host node ID -> host
 
-	seq        int64
-	processed  int64
-	deliveries []Delivery
+	seq          int64
+	gen          int64
+	processed    int64
+	deliveries   []Delivery
+	deliveryBase int // absolute index of deliveries[0] (log trimming)
+	deliveryCap  int
+	dropped      int64 // packets discarded by the hop TTL
+	ws           []*worker
+	mergeBuf     []outEntry
+
+	// Served-mode coordination. wmu guards inbox, ctl, serving, stopping
+	// and idle; cond (on wmu) wakes the supervisor and Quiesce/waiters.
+	wmu      sync.Mutex
+	cond     *sync.Cond
+	inbox    []injectReq
+	ctl      []ctlReq
+	serving  bool
+	stopping bool
+	idle     bool
+	started  bool
+	doneCh   chan struct{}
+}
+
+// swapHandle is the engine-internal state of an active transition.
+type swapHandle struct {
+	spec SwapSpec
+	s    *Swap
+}
+
+type injectReq struct {
+	host   string
+	fields netkat.Packet
+}
+
+type ctlReq struct {
+	f    func()
+	done chan struct{}
 }
 
 // NewEngine builds an engine over a compiled NES and its topology.
@@ -138,21 +282,25 @@ func NewEngine(n *nes.NES, t *topo.Topology, opts Options) *Engine {
 		w = 1
 	}
 	e := &Engine{
-		NES:      n,
-		Topo:     t,
-		workers:  w,
-		swIdx:    map[int]int{},
-		switches: append([]int{}, t.Switches...),
+		NES:         n,
+		Topo:        t,
+		mode:        opts.Mode,
+		workers:     w,
+		swIdx:       map[int]int{},
+		switches:    append([]int{}, t.Switches...),
+		deliveryCap: opts.DeliveryLog,
+		doneCh:      make(chan struct{}),
 	}
+	e.cond = sync.NewCond(&e.wmu)
 	sort.Ints(e.switches)
 	for i, sw := range e.switches {
 		e.swIdx[sw] = i
 	}
-	e.views = make([]nes.Set, len(e.switches))
 	e.rings = make([]*ring, len(e.switches))
 	for i := range e.rings {
 		e.rings[i] = &ring{}
 	}
+	e.hops = make([]int64, len(e.switches))
 	e.links = map[netkat.Location]topo.Link{}
 	for _, lk := range t.AllLinks() {
 		e.links[lk.Src] = lk
@@ -161,113 +309,261 @@ func NewEngine(n *nes.NES, t *topo.Topology, opts Options) *Engine {
 	for _, h := range t.Hosts {
 		e.hosts[h.ID] = h
 	}
-	e.plan = PlanForMode(n, opts.Mode)
+	e.progs = []*progState{{
+		epoch: 0,
+		nes:   n,
+		plan:  PlanForMode(n, opts.Mode),
+		views: make([]nes.Set, len(e.switches)),
+	}}
+	e.ws = make([]*worker, w)
+	for i := range e.ws {
+		e.ws[i] = &worker{}
+	}
 	return e
 }
 
-// gAt mirrors runtime.Machine.gAt: the configuration for a view, falling
-// back to the largest family member below it.
-func (e *Engine) gAt(v nes.Set) int {
-	if c, ok := e.NES.ConfigAt(v); ok {
-		return c
+// cur returns the program current for ingress stamping.
+func (e *Engine) cur() *progState { return e.progs[len(e.progs)-1] }
+
+// prog returns the progState for an absolute epoch (nil if retired or
+// unknown).
+func (e *Engine) prog(epoch int) *progState {
+	i := epoch - e.progs[0].epoch
+	if i < 0 || i >= len(e.progs) {
+		return nil
 	}
-	best := nes.Empty
-	for _, f := range e.NES.Family() {
-		if f.SubsetOf(v) && best.SubsetOf(f) {
-			best = f
-		}
-	}
-	c, _ := e.NES.ConfigAt(best)
-	return c
+	return e.progs[i]
 }
 
-// Inject stamps a packet entering from the named host with the ingress
-// switch's current configuration tag (the IN rule) and queues it. Inject
-// must not race with Run; the usual shape is inject a batch, run, repeat.
+// Inject stamps a packet entering from the named host with the current
+// program's ingress-switch configuration tag (the IN rule) and queues it.
+// Synchronous mode only: Inject must not race with Run or a served
+// engine; use InjectAsync (or Do) there.
 func (e *Engine) Inject(host string, fields netkat.Packet) error {
+	_, err := e.InjectStamped(host, fields)
+	return err
+}
+
+// InjectStamped is Inject returning the (epoch, version) stamp the packet
+// was pinned to — the identity of the exact rule set that will carry it,
+// which swap-consistency checks verify deliveries against. Same
+// synchronization contract as Inject.
+func (e *Engine) InjectStamped(host string, fields netkat.Packet) (Stamp, error) {
 	h, ok := e.Topo.HostByName(host)
 	if !ok {
-		return fmt.Errorf("dataplane: unknown host %q", host)
+		return Stamp{}, fmt.Errorf("dataplane: unknown host %q", host)
 	}
+	cp := e.cur()
 	i := e.swIdx[h.Attach.Switch]
+	st := Stamp{Epoch: cp.epoch, Version: cp.gAt(cp.views[i])}
 	e.seq++
 	e.rings[i].push(qpkt{
 		fields:  fields.Clone(),
 		inPort:  h.Attach.Port,
-		version: e.gAt(e.views[i]),
+		epoch:   st.Epoch,
+		version: st.Version,
 		digest:  nes.Empty,
 		seq:     e.seq,
 	})
-	return nil
+	cp.inflight++
+	return st, nil
 }
 
 // maxGenerations bounds Run against forwarding loops.
 const maxGenerations = 1 << 16
 
+// maxPacketHops is the per-packet TTL: a packet that has taken this many
+// switch-hops is discarded at its next pop. No legitimate journey in the
+// supported (loop-free-ETS) fragment approaches it — topology diameters
+// are single digits — but a submitted program whose *rules* forward in a
+// topology cycle would otherwise keep one packet circulating forever,
+// and in served mode that would wedge the daemon: the serve loop runs
+// generations while packets are pending, a draining epoch could never
+// retire, and Quiesce would never return. The TTL bounds every packet's
+// lifetime, so quiescence (and swap drains) always arrive.
+const maxPacketHops = 1024
+
+// pending returns the number of packets queued in the rings.
+func (e *Engine) pending() int {
+	n := 0
+	for _, r := range e.rings {
+		n += r.len()
+	}
+	return n
+}
+
 // Run forwards every queued packet to quiescence: generations of one hop
 // each, switches sharded over the configured workers, a barrier and a
-// deterministic queue merge between generations.
+// deterministic queue merge between generations. Control requests staged
+// while the engine was idle (e.g. StageSwap in synchronous mode) are
+// applied at the first barrier.
 func (e *Engine) Run() error {
-	ws := make([]*worker, e.workers)
-	for i := range ws {
-		ws[i] = &worker{}
-	}
-	var all []outEntry
-	for gen := 0; ; gen++ {
-		if gen > maxGenerations {
+	for g := 0; ; g++ {
+		if g > maxGenerations {
 			return fmt.Errorf("dataplane: no quiescence within %d generations", maxGenerations)
 		}
-		pending := 0
-		for _, r := range e.rings {
-			pending += r.len()
-		}
-		if pending == 0 {
+		e.barrier()
+		if e.pending() == 0 {
 			return nil
 		}
+		e.generation()
+	}
+}
 
-		var wg sync.WaitGroup
-		for w := 0; w < e.workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				wk := ws[w]
-				wk.outbox = wk.outbox[:0]
-				for i := w; i < len(e.switches); i += e.workers {
-					e.drain(wk, i)
-				}
-			}(w)
+// Step runs at most n generations and returns the number executed,
+// stopping early at quiescence. Synchronous mode only. It is the
+// deterministic mid-flight hook: tests stage swaps between Step calls to
+// place the flip barrier at an exact point of a packet's journey.
+func (e *Engine) Step(n int) int {
+	ran := 0
+	for ; ran < n; ran++ {
+		e.barrier()
+		if e.pending() == 0 {
+			break
 		}
-		wg.Wait()
+		e.generation()
+	}
+	return ran
+}
 
-		// Barrier: merge every worker's emissions into the per-switch
-		// rings in the deterministic (parent seq, branch) order, and
-		// assign fresh seqs in that same order so the next generation is
-		// ordered no matter which worker produced what.
-		all = all[:0]
-		for _, wk := range ws {
-			all = append(all, wk.outbox...)
-			e.processed += wk.processed
-			wk.processed = 0
+// barrier is the between-generations point: queued control closures run,
+// swap bookkeeping advances, and (in served mode) asynchronous injections
+// are admitted. Everything here sees quiescent engine state.
+func (e *Engine) barrier() {
+	e.runControl()
+	e.retireIfDrained()
+	e.admitInbox()
+}
+
+// runControl executes queued control closures.
+func (e *Engine) runControl() {
+	for {
+		e.wmu.Lock()
+		reqs := e.ctl
+		e.ctl = nil
+		e.wmu.Unlock()
+		if len(reqs) == 0 {
+			return
 		}
-		sort.Slice(all, func(i, j int) bool {
-			a, b := &all[i], &all[j]
-			if a.pkt.seq != b.pkt.seq {
-				return a.pkt.seq < b.pkt.seq
-			}
-			return a.pkt.branch < b.pkt.branch
-		})
-		for i := range all {
-			en := &all[i]
-			if en.dst < 0 {
-				e.deliveries = append(e.deliveries, Delivery{Host: en.hos, Fields: en.pkt.fields})
-				continue
-			}
-			e.seq++
-			en.pkt.seq = e.seq
-			en.pkt.branch = 0
-			e.rings[en.dst].push(en.pkt)
+		for _, r := range reqs {
+			r.f()
+			close(r.done)
 		}
 	}
+}
+
+// admitInbox injects queued asynchronous packets (served mode).
+func (e *Engine) admitInbox() {
+	e.wmu.Lock()
+	reqs := e.inbox
+	e.inbox = nil
+	e.wmu.Unlock()
+	for _, r := range reqs {
+		// The host was validated at InjectAsync time; errors cannot occur.
+		e.Inject(r.host, r.fields)
+	}
+}
+
+// retireIfDrained completes an active transition once the old epoch has
+// no packets left in flight.
+func (e *Engine) retireIfDrained() {
+	if e.swap == nil || len(e.progs) < 2 {
+		return
+	}
+	old := e.progs[0]
+	if old.inflight > 0 {
+		return
+	}
+	e.progs = e.progs[1:]
+	s := e.swap.s
+	s.stats.RetiredAt = time.Now()
+	s.stats.RetireGen = e.gen
+	e.swap = nil
+	close(s.done)
+}
+
+// generation executes one bulk-synchronous generation: every queued
+// packet forwarded one hop by the sharded workers, then the deterministic
+// (parent seq, branch) merge assigning fresh seqs.
+func (e *Engine) generation() {
+	e.gen++
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wk := e.ws[w]
+			wk.outbox = wk.outbox[:0]
+			for i := w; i < len(e.switches); i += e.workers {
+				e.drain(wk, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Barrier: merge every worker's emissions into the per-switch rings
+	// in the deterministic (parent seq, branch) order, and assign fresh
+	// seqs in that same order so the next generation is ordered no matter
+	// which worker produced what.
+	all := e.mergeBuf[:0]
+	genHops, genDrained := int64(0), int64(0)
+	for _, wk := range e.ws {
+		all = append(all, wk.outbox...)
+		e.processed += wk.processed
+		genHops += wk.processed
+		genDrained += wk.drained
+		e.dropped += wk.ttlDropped
+		wk.processed, wk.drained, wk.ttlDropped = 0, 0, 0
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.pkt.seq != b.pkt.seq {
+			return a.pkt.seq < b.pkt.seq
+		}
+		return a.pkt.branch < b.pkt.branch
+	})
+	// The generation consumed every queued packet; the rings now hold
+	// exactly what the merge pushes back, so per-epoch inflight counts
+	// are recomputed here from scratch.
+	for _, ps := range e.progs {
+		ps.inflight = 0
+	}
+	for i := range all {
+		en := &all[i]
+		if en.dst < 0 {
+			e.deliveries = append(e.deliveries, Delivery{
+				Host:   en.hos,
+				Fields: en.pkt.fields,
+				Stamp:  Stamp{Epoch: en.pkt.epoch, Version: en.pkt.version},
+			})
+			continue
+		}
+		e.seq++
+		en.pkt.seq = e.seq
+		en.pkt.branch = 0
+		e.rings[en.dst].push(en.pkt)
+		if ps := e.prog(en.pkt.epoch); ps != nil {
+			ps.inflight++
+		}
+	}
+	// Trim the delivery log to its bound (absolute indexing preserved via
+	// deliveryBase), so a long-running service does not retain every
+	// packet it ever delivered.
+	if e.deliveryCap > 0 && len(e.deliveries) > e.deliveryCap {
+		drop := len(e.deliveries) - e.deliveryCap/2
+		e.deliveryBase += drop
+		e.deliveries = append(e.deliveries[:0], e.deliveries[drop:]...)
+	}
+	e.mergeBuf = all[:0]
+	if e.swap != nil {
+		e.swap.s.stats.TransitionHops += genHops
+		e.swap.s.stats.DrainedHops += genDrained
+	}
+	// Retirement is decided here, where the per-epoch counts are freshly
+	// exact, so the transition window closes at the merge that drained
+	// the last old packet — not at the next barrier, behind whatever
+	// control work happens to be queued there.
+	e.retireIfDrained()
 }
 
 // drain processes every packet queued at switch index i (the SWITCH rule,
@@ -275,21 +571,53 @@ func (e *Engine) Run() error {
 func (e *Engine) drain(wk *worker, i int) {
 	r := e.rings[i]
 	sw := e.switches[i]
+	oldEpoch := -1
+	var newPS *progState
+	if e.swap != nil && len(e.progs) == 2 {
+		oldEpoch = e.progs[0].epoch
+		newPS = e.progs[1]
+	}
 	for r.len() > 0 {
 		p := r.pop()
+		if p.hops >= maxPacketHops {
+			wk.ttlDropped++
+			continue // forwarding loop: discard (see maxPacketHops)
+		}
 		wk.processed++
+		e.hops[i]++
+
+		ps := e.prog(p.epoch)
+		if ps == nil {
+			continue // stamped by a retired epoch; cannot happen post-drain
+		}
 
 		// Event handling: learn from the digest, detect newly enabled
 		// events this packet's arrival matches, update the local view.
-		view := e.views[i]
+		view := ps.views[i]
 		known := view.Union(p.digest)
 		lp := netkat.LocatedPacket{Pkt: p.fields, Loc: netkat.Location{Switch: sw, Port: p.inPort}}
-		newly := e.NES.NewlyEnabled(known, lp)
-		e.views[i] = known.Union(newly)
+		newly := ps.nes.NewlyEnabled(known, lp)
+		ps.views[i] = known.Union(newly)
 		outDigest := p.digest.Union(view).Union(newly)
 
-		// Forward with the packet's tagged configuration.
-		m := e.plan.Matcher(p.version, sw)
+		// Live knowledge transfer during a transition: an event the old
+		// program detects at this switch is admitted into the *new*
+		// program's view here too (through the event mapping), so
+		// detections made by draining packets are not lost to the
+		// successor. Detection happens exactly once per event, at one
+		// switch, so this rule together with the flip-time replay is the
+		// complete carry-over discipline (docs/CONTROLLER.md).
+		if newPS != nil && p.epoch == oldEpoch {
+			wk.drained++
+			if newly != nes.Empty {
+				if mapped := mapEvents(newly, e.swap.spec.MapEvent); mapped != nes.Empty {
+					newPS.views[i] = newPS.nes.Admit(newPS.views[i], mapped)
+				}
+			}
+		}
+
+		// Forward with the packet's tagged configuration of its epoch.
+		m := ps.plan.Matcher(p.version, sw)
 		if m == nil {
 			continue
 		}
@@ -302,10 +630,12 @@ func (e *Engine) drain(wk *worker, i int) {
 			out := qpkt{
 				fields:  o.Pkt,
 				inPort:  lk.Dst.Port,
+				epoch:   p.epoch,
 				version: p.version,
 				digest:  outDigest,
 				seq:     p.seq,
 				branch:  int32(bi),
+				hops:    p.hops + 1,
 			}
 			if h, isHost := e.hosts[lk.Dst.Switch]; isHost {
 				wk.outbox = append(wk.outbox, outEntry{dst: -1, hos: h.Name, pkt: out})
@@ -316,8 +646,278 @@ func (e *Engine) drain(wk *worker, i int) {
 	}
 }
 
+// mapEvents maps an old-program event set through a MapEvent table.
+func mapEvents(s nes.Set, mapEvent []int) nes.Set {
+	out := nes.Empty
+	for _, ev := range s.Elems() {
+		if ev < len(mapEvent) && mapEvent[ev] >= 0 {
+			out = out.With(mapEvent[ev])
+		}
+	}
+	return out
+}
+
+// StageSwap stages a live program replacement. At the next generation
+// barrier the engine installs the new program's plan, computes the new
+// per-switch views by canonical event-history replay of the mapped old
+// views, and flips ingress stamping to the new epoch; old-epoch packets
+// keep draining through the old rules until none remain, at which point
+// the old program is retired and the returned handle's Done channel
+// closes. Forwarding never pauses. Only one swap may be active at a time.
+//
+// In synchronous mode the flip applies immediately (the engine is
+// quiescent between calls by contract); in served mode it applies at the
+// next barrier, and StageSwap returns once it has.
+func (e *Engine) StageSwap(spec SwapSpec) (*Swap, error) {
+	if spec.NES == nil {
+		return nil, fmt.Errorf("dataplane: StageSwap needs a compiled NES")
+	}
+	s := &Swap{done: make(chan struct{})}
+	s.stats.StagedAt = time.Now()
+	var err error
+	e.Do(func() { err = e.flip(spec, s) })
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// flip runs at a generation barrier: phase one and two of the update.
+func (e *Engine) flip(spec SwapSpec, s *Swap) error {
+	if e.swap != nil {
+		return fmt.Errorf("dataplane: a swap is already in progress")
+	}
+	old := e.cur()
+	if spec.MapEvent != nil && len(spec.MapEvent) != len(old.nes.Events) {
+		return fmt.Errorf("dataplane: MapEvent has %d entries for %d old events", len(spec.MapEvent), len(old.nes.Events))
+	}
+	np := &progState{
+		epoch: old.epoch + 1,
+		nes:   spec.NES,
+		plan:  PlanForMode(spec.NES, e.mode),
+		views: make([]nes.Set, len(e.switches)),
+	}
+	carried := 0
+	for i := range np.views {
+		if spec.MapEvent != nil {
+			np.views[i] = spec.NES.Replay(mapEvents(old.views[i], spec.MapEvent))
+			carried += np.views[i].Count()
+		} else {
+			np.views[i] = nes.Empty
+		}
+	}
+	e.progs = append(e.progs, np)
+	e.swap = &swapHandle{spec: spec, s: s}
+	s.stats.FlipAt = time.Now()
+	s.stats.FlipGen = e.gen
+	s.stats.CarriedEvents = carried
+	e.retireIfDrained() // nothing in flight: flip and retire at one barrier
+	return nil
+}
+
+// ---- Served mode ----------------------------------------------------
+
+// Start launches the supervisor goroutine: the engine runs generations
+// continuously, admitting InjectAsync packets and control requests at
+// barriers. Start is idempotent; after Stop the engine stays stopped.
+func (e *Engine) Start() {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if e.started || e.stopping {
+		return
+	}
+	e.started = true
+	e.serving = true
+	go e.serve()
+}
+
+// Stop shuts the supervisor down: the current generation (if any)
+// completes, remaining control requests are honored, queued packets stay
+// in the rings, and every engine goroutine exits. Stop is idempotent —
+// stopping twice, stopping mid-batch, or stopping a never-started engine
+// are all safe — and returns only when the supervisor has exited.
+func (e *Engine) Stop() {
+	e.wmu.Lock()
+	if !e.started {
+		e.stopping = true // a later Start stays a no-op
+		e.wmu.Unlock()
+		return
+	}
+	e.stopping = true
+	e.cond.Broadcast()
+	e.wmu.Unlock()
+	<-e.doneCh
+}
+
+// serve is the supervisor loop.
+func (e *Engine) serve() {
+	defer close(e.doneCh)
+	for {
+		e.barrier()
+		e.wmu.Lock()
+		if e.stopping {
+			e.serving = false
+			e.cond.Broadcast()
+			e.wmu.Unlock()
+			e.runControl() // honor requests racing with Stop
+			return
+		}
+		e.wmu.Unlock()
+		if e.pending() > 0 {
+			e.generation()
+			continue
+		}
+		// Idle: wait for injections, control requests, or stop.
+		e.wmu.Lock()
+		for !e.stopping && len(e.inbox) == 0 && len(e.ctl) == 0 {
+			e.idle = true
+			e.cond.Broadcast()
+			e.cond.Wait()
+		}
+		e.idle = false
+		e.wmu.Unlock()
+	}
+}
+
+// InjectAsync queues a packet for admission at the next generation
+// barrier. Safe for concurrent use while the engine is serving; on a
+// non-serving engine it is plain Inject.
+func (e *Engine) InjectAsync(host string, fields netkat.Packet) error {
+	if _, ok := e.Topo.HostByName(host); !ok {
+		return fmt.Errorf("dataplane: unknown host %q", host)
+	}
+	e.wmu.Lock()
+	if !e.serving {
+		e.wmu.Unlock()
+		return e.Inject(host, fields)
+	}
+	e.inbox = append(e.inbox, injectReq{host: host, fields: fields.Clone()})
+	e.cond.Broadcast()
+	e.wmu.Unlock()
+	return nil
+}
+
+// Do runs f atomically with respect to generations: on a serving engine
+// it executes at the next barrier (blocking until done), otherwise
+// inline. f sees quiescent engine state and may call the synchronous API
+// (Inject, StageSwap internals, state accessors).
+func (e *Engine) Do(f func()) {
+	e.wmu.Lock()
+	if !e.serving {
+		e.wmu.Unlock()
+		f()
+		return
+	}
+	req := ctlReq{f: f, done: make(chan struct{})}
+	e.ctl = append(e.ctl, req)
+	e.cond.Broadcast()
+	e.wmu.Unlock()
+	<-req.done
+}
+
+// Quiesce blocks until the serving engine has no queued packets, no
+// pending injections, and no active transition (it returns immediately on
+// a non-serving engine, which is quiescent between calls by contract).
+func (e *Engine) Quiesce() {
+	for {
+		e.wmu.Lock()
+		if !e.serving {
+			e.wmu.Unlock()
+			return
+		}
+		for !(e.idle && len(e.inbox) == 0 && len(e.ctl) == 0) {
+			if !e.serving {
+				e.wmu.Unlock()
+				return
+			}
+			e.cond.Wait()
+		}
+		e.wmu.Unlock()
+		// The supervisor is idle: confirm nothing is in flight (it only
+		// parks when rings are empty and no swap is draining).
+		done := true
+		e.Do(func() { done = e.pending() == 0 && e.swap == nil })
+		if done {
+			return
+		}
+	}
+}
+
+// Snapshot is a barrier-consistent view of the engine for monitoring.
+type Snapshot struct {
+	Epoch      int   // current ingress epoch
+	Programs   int   // live program epochs (2 during a transition)
+	Swapping   bool  // a transition is draining
+	Generation int64 // generations executed
+	Pending    int   // packets queued in rings
+	Processed  int64 // total switch-hops executed
+	Deliveries int   // packets delivered to hosts (total, beyond log retention)
+	TTLDropped int64 // packets discarded by the forwarding-loop TTL
+	States     int   // configurations of the current program
+	Events     int   // events of the current program
+	Switches   []SwitchStat
+}
+
+// SwitchStat is one switch's live state.
+type SwitchStat struct {
+	ID    int
+	Hops  int64 // switch-hops executed here
+	View  []int // current program's event view
+	Queue int   // packets queued
+}
+
+// Snapshot returns a barrier-consistent snapshot (safe while serving).
+func (e *Engine) Snapshot() Snapshot {
+	var s Snapshot
+	e.Do(func() {
+		cp := e.cur()
+		s = Snapshot{
+			Epoch:      cp.epoch,
+			Programs:   len(e.progs),
+			Swapping:   e.swap != nil,
+			Generation: e.gen,
+			Pending:    e.pending(),
+			Processed:  e.processed,
+			Deliveries: e.deliveryBase + len(e.deliveries),
+			TTLDropped: e.dropped,
+			States:     len(cp.nes.Configs),
+			Events:     len(cp.nes.Events),
+		}
+		for i, sw := range e.switches {
+			s.Switches = append(s.Switches, SwitchStat{
+				ID:    sw,
+				Hops:  e.hops[i],
+				View:  cp.views[i].Elems(),
+				Queue: e.rings[i].len(),
+			})
+		}
+	})
+	return s
+}
+
+// CopyDeliveries returns a barrier-consistent copy of the retained
+// deliveries from absolute index `from` on (safe while serving). With a
+// bounded delivery log, deliveries older than the retention window are
+// gone; Snapshot.Deliveries still counts them.
+func (e *Engine) CopyDeliveries(from int) []Delivery {
+	var out []Delivery
+	e.Do(func() {
+		i := from - e.deliveryBase
+		if i < 0 {
+			i = 0
+		}
+		if i < len(e.deliveries) {
+			out = append(out, e.deliveries[i:]...)
+		}
+	})
+	return out
+}
+
+// ---- Synchronous-mode accessors --------------------------------------
+
 // Deliveries returns every packet delivered to a host, in the engine's
-// deterministic delivery order.
+// deterministic delivery order. Synchronous mode only; use CopyDeliveries
+// on a serving engine.
 func (e *Engine) Deliveries() []Delivery { return e.deliveries }
 
 // DeliveredTo returns the packets delivered to the named host.
@@ -331,8 +931,11 @@ func (e *Engine) DeliveredTo(host string) []netkat.Packet {
 	return out
 }
 
-// View returns a switch's current event view.
-func (e *Engine) View(sw int) nes.Set { return e.views[e.swIdx[sw]] }
+// View returns a switch's current event view (of the current program).
+func (e *Engine) View(sw int) nes.Set { return e.cur().views[e.swIdx[sw]] }
+
+// Epoch returns the current ingress program epoch.
+func (e *Engine) Epoch() int { return e.cur().epoch }
 
 // Processed returns how many switch-hops the engine has executed — the
 // numerator of a packets/sec measurement.

@@ -47,17 +47,31 @@ func ForNES(n *nes.NES, mode Mode) *Plan {
 	return p
 }
 
-// planCache memoizes indexed plans per NES, so the many short-lived
+// planCache memoizes indexed plans keyed by program identity (the *nes.NES
+// value: one compiled program = one NES instance), so the many short-lived
 // machines the runtime property tests spin up over one NES compile its
-// indexes exactly once. The cache is bounded: when it fills, it is
-// cleared wholesale rather than pinning every NES a long-lived process
-// ever compiled — a cold plan rebuilds in microseconds.
+// indexes exactly once.
+//
+// The multi-program world of the live controller makes the lifecycle
+// explicit: a retired program's plan must be droppable (Invalidate), a
+// dropped entry must recompile from the NES's *current* tables on the next
+// PlanFor, and filling the cache must never evict the plans that active
+// programs are forwarding with mid-swap — so eviction removes the
+// least-recently-used half instead of clearing wholesale.
 var (
 	planMu    sync.Mutex
-	planCache = map[*nes.NES]*Plan{}
+	planCache = map[*nes.NES]*planEntry{}
+	planTick  uint64
 )
 
-// planCacheLimit bounds planCache; past it the cache resets.
+// planEntry stamps a cached plan with its last use for LRU eviction.
+type planEntry struct {
+	plan *Plan
+	used uint64
+}
+
+// planCacheLimit bounds planCache; past it the least-recently-used half
+// is evicted.
 const planCacheLimit = 128
 
 // PlanFor returns the cached indexed plan for the NES, compiling it on
@@ -65,15 +79,54 @@ const planCacheLimit = 128
 func PlanFor(n *nes.NES) *Plan {
 	planMu.Lock()
 	defer planMu.Unlock()
-	if p, ok := planCache[n]; ok {
-		return p
+	planTick++
+	if e, ok := planCache[n]; ok {
+		e.used = planTick
+		return e.plan
 	}
 	if len(planCache) >= planCacheLimit {
-		clear(planCache)
+		evictOldestLocked(len(planCache) / 2)
 	}
 	p := ForNES(n, ModeIndexed)
-	planCache[n] = p
+	planCache[n] = &planEntry{plan: p, used: planTick}
 	return p
+}
+
+// evictOldestLocked drops the k least-recently-used entries.
+func evictOldestLocked(k int) {
+	for ; k > 0; k-- {
+		var victim *nes.NES
+		oldest := uint64(0)
+		for n, e := range planCache {
+			if victim == nil || e.used < oldest {
+				victim, oldest = n, e.used
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(planCache, victim)
+	}
+}
+
+// Invalidate drops the cached plan for a program, releasing the NES and
+// its compiled indexes. The live controller calls this after retiring a
+// program: the cache key is the NES identity, so without invalidation the
+// cache would pin every program a long-lived process ever ran — and a
+// later PlanFor for the same NES would serve the stale pre-swap plan
+// rather than compiling the tables as they stand.
+func Invalidate(n *nes.NES) {
+	planMu.Lock()
+	delete(planCache, n)
+	planMu.Unlock()
+}
+
+// PlanCacheLen reports the number of cached plans (for tests and
+// monitoring).
+func PlanCacheLen() int {
+	planMu.Lock()
+	defer planMu.Unlock()
+	return len(planCache)
 }
 
 // PlanForMode resolves the plan for a forwarding mode: scan plans wrap
@@ -138,13 +191,23 @@ func (p *Plan) Process(in []Packet, out []Packet) []Packet {
 // the linear scan walks every configuration's rules, the compiled matcher
 // jumps straight to the tag's partition.
 func Merged(n *nes.NES) flowtable.Tables {
+	return mergedInto(flowtable.Tables{}, n, 0, guardBits(len(n.Configs)))
+}
+
+// guardBits returns the tag width covering n configurations.
+func guardBits(n int) int {
 	bits := 1
-	for 1<<uint(bits) < len(n.Configs) {
+	for 1<<uint(bits) < n {
 		bits++
 	}
-	merged := flowtable.Tables{}
+	return bits
+}
+
+// mergedInto appends every configuration of n, tag-offset by off, into
+// dst under exact guards of the given width.
+func mergedInto(dst flowtable.Tables, n *nes.NES, off, bits int) flowtable.Tables {
 	for ci := range n.Configs {
-		guard := flowtable.ExactGuard(uint32(ci), bits)
+		guard := flowtable.ExactGuard(uint32(off+ci), bits)
 		for sw, t := range n.Configs[ci].Tables {
 			var rs []flowtable.Rule
 			for _, r := range t.Rules {
@@ -152,8 +215,26 @@ func Merged(n *nes.NES) flowtable.Tables {
 				m.Guard = guard
 				rs = append(rs, flowtable.Rule{Priority: r.Priority, Match: m, Groups: r.Groups})
 			}
-			merged.Get(sw).AddAll(rs)
+			dst.Get(sw).AddAll(rs)
 		}
 	}
-	return merged
+	return dst
+}
+
+// MergedPair builds the staged-install deployment shape of a live program
+// swap: one physical table per switch holding *both* programs' rules —
+// the running program's configurations at tags [0, |P|) and the incoming
+// program's behind fresh exact version guards at tags [off, off+|P'|),
+// with off = |P|. Installing this table is phase one of the two-phase
+// update: it changes the forwarding of no in-flight packet (their tags
+// all lie below off and exact guards with the same mask never admit
+// another program's tags), yet the moment ingress tagging flips to
+// off+c, packets follow P' rules exclusively. The returned offset is the
+// tag displacement of the new program's configurations.
+func MergedPair(old, new_ *nes.NES) (flowtable.Tables, int) {
+	off := len(old.Configs)
+	bits := guardBits(off + len(new_.Configs))
+	dst := mergedInto(flowtable.Tables{}, old, 0, bits)
+	dst = mergedInto(dst, new_, off, bits)
+	return dst, off
 }

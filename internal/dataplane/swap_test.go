@@ -1,0 +1,299 @@
+package dataplane_test
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/dataplane"
+	"eventnet/internal/flowtable"
+	"eventnet/internal/nes"
+	"eventnet/internal/netkat"
+)
+
+// TestEngineStopIdempotentLeakFree: netd restarts engines around swaps,
+// so shutdown must be idempotent (Stop twice, Stop before Start, Stop
+// mid-batch) and leak no goroutines across many start/stop cycles. The
+// engine also stays usable synchronously after Stop: packets stranded
+// mid-batch drain with a plain Run.
+func TestEngineStopIdempotentLeakFree(t *testing.T) {
+	a := apps.Firewall()
+	n := buildNES(t, a)
+	lg := dataplane.NewLoadGen(n, a.Topo, 3)
+
+	baseline := runtime.NumGoroutine()
+
+	// Stop on a never-started engine, twice.
+	e0 := dataplane.NewEngine(n, a.Topo, dataplane.Options{Workers: 2})
+	e0.Stop()
+	e0.Stop()
+
+	for cycle := 0; cycle < 8; cycle++ {
+		e := dataplane.NewEngine(n, a.Topo, dataplane.Options{Workers: 2})
+		e.Start()
+		e.Start() // idempotent
+		for _, in := range lg.Injections(60) {
+			if err := e.InjectAsync(in.Host, in.Fields); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Stop() // mid-batch: traffic likely still queued
+		e.Stop() // idempotent
+		// The supervisor is gone; the synchronous API still drains what
+		// was left behind, and a post-Stop Start must stay a no-op.
+		e.Start()
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d at baseline, %d after start/stop cycles", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEngineQuiesceUnderLoad: Quiesce returns only once served traffic
+// has fully drained, and the delivery count is then stable.
+func TestEngineQuiesceUnderLoad(t *testing.T) {
+	a := apps.BandwidthCap(10)
+	n := buildNES(t, a)
+	e := dataplane.NewEngine(n, a.Topo, dataplane.Options{Workers: 2})
+	e.Start()
+	defer e.Stop()
+	lg := dataplane.NewLoadGen(n, a.Topo, 5)
+	for _, in := range lg.Injections(200) {
+		if err := e.InjectAsync(in.Host, in.Fields); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Quiesce()
+	s := e.Snapshot()
+	if s.Pending != 0 {
+		t.Fatalf("quiesced with %d packets pending", s.Pending)
+	}
+	if s.Deliveries == 0 {
+		t.Fatal("workload delivered nothing; test is vacuous")
+	}
+}
+
+// TestPlanInvalidation: plans are keyed by program identity and must be
+// explicitly droppable — after a swap retires a program, a stale plan
+// must not be servable for its NES. Without Invalidate the cache would
+// keep serving the index compiled from the old tables; with it, the next
+// PlanFor compiles the tables as they stand.
+func TestPlanInvalidation(t *testing.T) {
+	a := apps.Firewall()
+	n := buildNES(t, a)
+	p1 := dataplane.PlanFor(n)
+	if dataplane.PlanFor(n) != p1 {
+		t.Fatal("PlanFor did not cache by program identity")
+	}
+
+	// Find a probe that forwards under configuration 0.
+	var probeSw, probePort int
+	var probePkt netkat.Packet
+	found := false
+	for sw, tbl := range n.Configs[0].Tables {
+		for _, r := range tbl.Rules {
+			if len(r.Groups) == 0 || r.Match.InPort == flowtable.Wildcard {
+				continue
+			}
+			probeSw, probePort = sw, r.Match.InPort
+			probePkt = netkat.Packet{}
+			for f, v := range r.Match.Fields {
+				probePkt[f] = v
+			}
+			found = true
+			break
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no forwarding rule to probe")
+	}
+	if out := p1.Matcher(0, probeSw).Process(nil, probePkt, probePort, 0); len(out) == 0 {
+		t.Fatal("probe does not forward under the original plan")
+	}
+
+	// The program is "recompiled in place": a shadowing drop rule lands at
+	// the top of the table while the NES value is reused.
+	n.Configs[0].Tables[probeSw].Add(flowtable.Rule{
+		Priority: 1 << 30,
+		Match:    flowtable.Match{InPort: flowtable.Wildcard},
+	})
+
+	// The cache still serves the stale pre-change plan — this is exactly
+	// why retirement must invalidate.
+	if stale := dataplane.PlanFor(n); stale != p1 {
+		t.Fatal("cache rebuilt without invalidation; staleness test is vacuous")
+	}
+
+	dataplane.Invalidate(n)
+	p2 := dataplane.PlanFor(n)
+	if p2 == p1 {
+		t.Fatal("Invalidate did not drop the plan")
+	}
+	if out := p2.Matcher(0, probeSw).Process(nil, probePkt, probePort, 0); len(out) != 0 {
+		t.Fatal("recompiled plan still serves the stale rules")
+	}
+	dataplane.Invalidate(n) // idempotent
+}
+
+// TestPlanCacheEvictionKeepsHot: filling the cache past its limit evicts
+// least-recently-used plans, never the ones in active use — a swap's two
+// live programs must survive arbitrary cache pressure.
+func TestPlanCacheEvictionKeepsHot(t *testing.T) {
+	hot := &nes.NES{}
+	ph := dataplane.PlanFor(hot)
+	for i := 0; i < 400; i++ {
+		dataplane.PlanFor(&nes.NES{})
+		if i%40 == 0 && dataplane.PlanFor(hot) != ph {
+			t.Fatalf("hot plan evicted at insert %d", i)
+		}
+	}
+	if dataplane.PlanFor(hot) != ph {
+		t.Fatal("hot plan evicted under cache pressure")
+	}
+	if l := dataplane.PlanCacheLen(); l > 129 {
+		t.Fatalf("cache grew without bound: %d entries", l)
+	}
+	dataplane.Invalidate(hot)
+}
+
+// TestMergedPairStagedInstall: the phase-one staged table — both
+// programs' rules behind disjoint exact guards — forwards every old tag
+// exactly like the old program's own table and every offset new tag
+// exactly like the new program's, through both the compiled index and
+// the linear scan.
+func TestMergedPairStagedInstall(t *testing.T) {
+	old := buildNES(t, apps.Firewall())
+	new_ := buildNES(t, apps.BandwidthCap(8))
+	merged, off := dataplane.MergedPair(old, new_)
+	if off != len(old.Configs) {
+		t.Fatalf("offset %d, want %d", off, len(old.Configs))
+	}
+	hosts := hostAddrs(apps.Firewall().Topo)
+	r := rand.New(rand.NewSource(17))
+	for _, sw := range merged.Switches() {
+		ct := dataplane.Compile(merged[sw])
+		mscan := dataplane.Scan{Table: merged[sw]}
+		check := func(n *nes.NES, base int) {
+			for ci := range n.Configs {
+				var ref dataplane.Matcher = dataplane.Scan{Table: &flowtable.Table{}}
+				if tbl, ok := n.Configs[ci].Tables[sw]; ok {
+					ref = dataplane.Scan{Table: tbl}
+				}
+				for i := 0; i < 60; i++ {
+					pkt, port, _ := randProbe(r, hosts)
+					tag := uint32(base + ci)
+					got := ct.Process(nil, pkt, port, tag)
+					viaScan := mscan.Process(nil, pkt, port, tag)
+					want := ref.Process(nil, pkt, port, 0)
+					if !sameOutputs(got, want) || !sameOutputs(viaScan, want) {
+						t.Fatalf("sw %d tag %d (base %d config %d) pkt %v port %d:\nindexed %v\nmerged-scan %v\nper-config %v",
+							sw, tag, base, ci, pkt, port, got, viaScan, want)
+					}
+				}
+			}
+		}
+		check(old, 0)
+		check(new_, off)
+	}
+}
+
+// loopNES builds a pathological program whose rules forward every packet
+// around the s1<->s4 cycle forever — the shape a bad northbound
+// submission could install.
+func loopNES(t *testing.T) *nes.NES {
+	t.Helper()
+	tables := flowtable.Tables{}
+	for _, sw := range []int{1, 4} {
+		tables.Get(sw).Add(flowtable.Rule{
+			Priority: 1,
+			Match:    flowtable.Match{InPort: flowtable.Wildcard},
+			Groups:   []flowtable.ActionGroup{{OutPort: 1}},
+		})
+	}
+	n, err := nes.New(nil, map[nes.Set]int{nes.Empty: 0}, []nes.Config{{ID: 0, Tables: tables}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestEngineHopTTL: a forwarding loop must not wedge the engine. The
+// per-packet TTL discards the circulating packet, so a synchronous Run
+// quiesces and — the case that matters for the daemon — a served engine
+// still quiesces, drains swaps, and stops.
+func TestEngineHopTTL(t *testing.T) {
+	tp := apps.Firewall().Topo
+	n := loopNES(t)
+
+	e := dataplane.NewEngine(n, tp, dataplane.Options{Workers: 2})
+	if err := e.Inject("H1", netkat.Packet{"dst": apps.H(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("looping packet did not quiesce under the TTL: %v", err)
+	}
+	if got := len(e.Deliveries()); got != 0 {
+		t.Fatalf("looping packet delivered %d times", got)
+	}
+	if p := e.Processed(); p < 1000 || p > 1100 {
+		t.Fatalf("TTL fired at %d hops", p)
+	}
+
+	// Served mode: Quiesce must return despite the loop.
+	es := dataplane.NewEngine(n, tp, dataplane.Options{Workers: 2})
+	es.Start()
+	defer es.Stop()
+	if err := es.InjectAsync("H1", netkat.Packet{"dst": apps.H(4)}); err != nil {
+		t.Fatal(err)
+	}
+	es.Quiesce()
+	if s := es.Snapshot(); s.Pending != 0 || s.TTLDropped != 1 {
+		t.Fatalf("served loop not TTL-drained: %+v", s)
+	}
+}
+
+// TestDeliveryLogBound: with DeliveryLog set, the engine retains a
+// bounded window while total counts and absolute CopyDeliveries indices
+// keep working — the memory guarantee a long-running daemon needs.
+func TestDeliveryLogBound(t *testing.T) {
+	a := apps.Firewall()
+	n := buildNES(t, a)
+	e := dataplane.NewEngine(n, a.Topo, dataplane.Options{DeliveryLog: 8})
+	const total = 40
+	for i := 0; i < total; i++ {
+		if err := e.Inject("H1", netkat.Packet{"dst": apps.H(4), "src": apps.H(1), "id": i}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Snapshot()
+	if s.Deliveries != total {
+		t.Fatalf("total delivery count %d, want %d", s.Deliveries, total)
+	}
+	retained := e.CopyDeliveries(0)
+	if len(retained) > 8 {
+		t.Fatalf("log retained %d deliveries, bound is 8", len(retained))
+	}
+	last := e.CopyDeliveries(total - 1)
+	if len(last) != 1 || last[0].Fields["id"] != total-1 {
+		t.Fatalf("absolute indexing broken after trim: %+v", last)
+	}
+}

@@ -50,6 +50,16 @@ type Options struct {
 	// one shard per worker. A single worker makes cache statistics
 	// deterministic (useful for examples and tests).
 	Workers int
+	// Cache, when non-nil, is a cross-build compiler cache: the root
+	// incremental compiler and the whole-configuration cache come from it
+	// instead of being created fresh, so successive builds — the program
+	// revisions of a live controller — reuse FDDs, segments, and whole
+	// tables across generations. The cache serializes builds (its FDD
+	// context is single-goroutine); the resulting ETS is byte-identical
+	// with and without a cache. Hit/miss stats reported for a cached
+	// build count only that build's lookups, while Strands/FDDNodes
+	// report the shared stores' cumulative sizes.
+	Cache *nkc.ProgramCache
 }
 
 // Stats reports what one Build did: the explored graph and the
@@ -125,13 +135,30 @@ func BuildWithOptions(p stateful.Program, t *topo.Topology, o Options) (*ETS, St
 
 	// One skeleton extraction (validation, strand split, guard indexes)
 	// for the whole pool; the other workers fork it, sharing the
-	// immutable parts and owning their hash-consing context.
-	sc := nkc.NewSharedCache()
-	pcs := make([]*nkc.ProgramCompiler, workers)
-	pc0, err := nkc.NewProgramCompilerWith(backend, p.Cmd, t, sc)
-	if err != nil {
-		return nil, Stats{}, err
+	// immutable parts and owning their hash-consing context. With a
+	// cross-build cache, the root compiler and the shared table cache
+	// persist across builds instead.
+	var (
+		sc     *nkc.SharedCache
+		pc0    *nkc.ProgramCompiler
+		before nkc.CacheStats
+		err    error
+	)
+	if o.Cache != nil {
+		pc0, sc, err = o.Cache.Acquire(backend, p.Cmd, t)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		defer o.Cache.Release()
+		before = pc0.Stats()
+	} else {
+		sc = nkc.NewSharedCache()
+		pc0, err = nkc.NewProgramCompilerWith(backend, p.Cmd, t, sc)
+		if err != nil {
+			return nil, Stats{}, err
+		}
 	}
+	pcs := make([]*nkc.ProgramCompiler, workers)
 	pcs[0] = pc0
 	for w := 1; w < workers; w++ {
 		pcs[w] = pc0.Fork()
@@ -160,6 +187,12 @@ func BuildWithOptions(p stateful.Program, t *topo.Topology, o Options) (*ETS, St
 	for _, pc := range pcs {
 		stats.Cache.Add(pc.Stats())
 	}
+	// A cached root compiler's counters accumulate across builds; report
+	// only this build's lookups (store sizes stay absolute by design).
+	stats.Cache.TableHits -= before.TableHits
+	stats.Cache.TableMisses -= before.TableMisses
+	stats.Cache.SegmentHits -= before.SegmentHits
+	stats.Cache.SegmentMisses -= before.SegmentMisses
 	return e, stats, nil
 }
 

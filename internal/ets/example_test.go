@@ -10,10 +10,12 @@ import (
 // ExampleBuild compiles the bandwidth-cap application with cap 20 (22
 // reachable states) on a single worker and reports the incremental
 // engine's cache statistics: adjacent states differ only in which
-// counter guard holds, so nearly every strand segment is reused by guard
-// signature and the whole run performs just four distinct symbolic
-// strand executions. (With the default worker count the same tables come
-// out, but hit/miss attribution across workers is scheduling-dependent.)
+// counter guard holds, so nearly every strand segment is reused by its
+// structural (segment rendering, guard signature) key — including across
+// strand positions that contain the same link-free command — and the
+// whole run performs just four distinct symbolic strand executions.
+// (With the default worker count the same tables come out, but hit/miss
+// attribution across workers is scheduling-dependent.)
 func ExampleBuild() {
 	a := apps.BandwidthCap(20)
 	e, stats, err := ets.BuildWithOptions(a.Prog, a.Topo, ets.Options{Workers: 1})
@@ -25,6 +27,6 @@ func ExampleBuild() {
 	fmt.Printf("distinct strand executions: %d\n", stats.Cache.Strands)
 	// Output:
 	// states=22 events=21
-	// segment cache: 943 hits / 69 misses
+	// segment cache: 965 hits / 47 misses
 	// distinct strand executions: 4
 }

@@ -200,3 +200,26 @@ func TestThroughputShape(t *testing.T) {
 		}
 	}
 }
+
+// TestSwapExperiment: the live-swap experiment's consistency audit must
+// be perfectly clean — zero packets dropped by the transition and zero
+// packets whose deliveries contradict their stamped program generation —
+// and the harness must report positive rates. (The >=90% throughput
+// acceptance is a timing property; it is measured by `experiments -only
+// swap` and recorded in docs/BENCHMARKS.md rather than asserted under
+// arbitrary CI load.)
+func TestSwapExperiment(t *testing.T) {
+	res := Swap(8192)
+	if res.Mixed != 0 {
+		t.Fatalf("swap audit found %d mixed-version deliveries", res.Mixed)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("swap transition dropped %d predicted deliveries", res.Dropped)
+	}
+	if res.SteadyPPS <= 0 || res.TransitionPPS <= 0 {
+		t.Fatalf("non-positive rates: steady %.0f, transition %.0f", res.SteadyPPS, res.TransitionPPS)
+	}
+	if len(res.Table.Rows) != 1 || len(res.Table.Rows[0]) != len(res.Table.Columns) {
+		t.Fatalf("malformed result table: %+v", res.Table)
+	}
+}

@@ -145,6 +145,44 @@ func (n *NES) NewlyEnabled(known Set, lp netkat.LocatedPacket) Set {
 	return out
 }
 
+// Replay folds a candidate event-set into the NES by canonical
+// event-history replay: starting from the empty view, events are admitted
+// in ascending-ID passes whenever they are enabled and keep the view
+// consistent, iterating until no further candidate can be admitted. The
+// result is the largest prefix of the candidates' knowledge that forms a
+// valid execution of *this* NES — the state-mapping rule live program
+// swaps use to carry one program's established event knowledge into its
+// successor (docs/CONTROLLER.md). Replay is deterministic: the admitted
+// set depends only on the candidate set, because family membership, not
+// admission order, decides consistency.
+func (n *NES) Replay(candidates Set) Set {
+	return n.Admit(Empty, candidates)
+}
+
+// Admit is Replay starting from an established view: candidate events are
+// folded into view in ascending-ID fixpoint passes, each admitted only
+// when enabled from and consistent with what is already held. The view
+// grows monotonically — admission can never invalidate knowledge the view
+// already has — which is what makes the live-mapping rule of a program
+// swap sound while the view keeps evolving.
+func (n *NES) Admit(view, candidates Set) Set {
+	for {
+		changed := false
+		for _, e := range candidates.Elems() {
+			if view.Has(e) {
+				continue
+			}
+			if n.Enables(view, e) && n.Con(view.With(e)) {
+				view = view.With(e)
+				changed = true
+			}
+		}
+		if !changed {
+			return view
+		}
+	}
+}
+
 // EventSets computes the event-sets of the underlying event structure per
 // Definition 4 (consistent and reachable via the enabling relation), by
 // BFS from the empty set. For families produced by the ETS conversion this

@@ -26,7 +26,11 @@ func TestProgramCompilerHitMissAccounting(t *testing.T) {
 	if st.TableMisses != 1 || st.TableHits != 0 {
 		t.Fatalf("first compile: %+v", st)
 	}
-	if st.SegmentMisses == 0 || st.SegmentHits != 0 {
+	// The first compile does real segment work; structurally repeated
+	// segments (the identity segments around links, the shared pt<-2
+	// suffix) may already hit, since the memo key is the segment's
+	// canonical rendering, not its strand position.
+	if st.SegmentMisses == 0 {
 		t.Fatalf("first compile touched no segments: %+v", st)
 	}
 

@@ -35,9 +35,16 @@ import (
 	"eventnet/internal/topo"
 )
 
-// progSeg is one link-free segment of the program skeleton.
+// progSeg is one link-free segment of the program skeleton. key is the
+// segment's canonical rendering: together with a guard signature it
+// identifies the projected policy structurally, so segment FDDs memoized
+// under it are shareable not just across the states of one program but —
+// through nkc.ProgramCache — across *programs* that contain the same
+// link-free segment (successive revisions of a live-updated program
+// typically share most of them).
 type progSeg struct {
 	id     int
+	key    string
 	cmd    stateful.Cmd
 	guards *stateful.GuardIndex // state tests inside this segment
 }
@@ -152,6 +159,7 @@ func extractCmdStrands(c stateful.Cmd) ([]progStrand, error) {
 		for i := range s.segs {
 			s.segs[i].id = segID
 			segID++
+			s.segs[i].key = s.segs[i].cmd.String()
 			s.segs[i].guards = stateful.CollectGuards(s.segs[i].cmd)
 		}
 		out = append(out, s)
@@ -192,10 +200,13 @@ func assembleCmdStrand(es []cmdElement) progStrand {
 	return s
 }
 
-// segMemoKey identifies a segment FDD: the segment plus the truth vector
-// of the state tests inside it.
+// segMemoKey identifies a segment FDD structurally: the segment's
+// canonical rendering plus the truth vector of the state tests inside
+// it. The pair determines the projected policy exactly, so the key is
+// sound across states, across compiler generations, and across
+// different programs sharing an FDD context (nkc.ProgramCache).
 type segMemoKey struct {
-	id  int
+	key string
 	sig string
 }
 
@@ -321,7 +332,7 @@ func (pc *ProgramCompiler) Compile(k stateful.State) (flowtable.Tables, error) {
 		fdds := make([]*FDD, len(s.segs))
 		for j := range s.segs {
 			seg := &s.segs[j]
-			key := segMemoKey{id: seg.id, sig: seg.guards.Sig(k)}
+			key := segMemoKey{key: seg.key, sig: seg.guards.Sig(k)}
 			d, ok := pc.segMemo[key]
 			if !ok {
 				pc.stats.SegmentMisses++
