@@ -13,11 +13,19 @@
 //     list for wildcard/exclusion rules. Lookup is O(1)+verification
 //     instead of O(rules); the hot path performs no per-packet map or
 //     string construction.
+//   - Schema + flat lowering (schema.go, flat.go): a per-program
+//     FieldSchema interns every header field the program can test or
+//     write to a dense integer; rules, action groups and event guards
+//     lower once to flat (fieldIdx, value) arrays, and the engine's
+//     packets become fixed-width []int32 value arrays with a presence
+//     bitmap — in-place field writes, no maps or strings on the hop
+//     loop, conversion exactly once at ingress and delivery.
 //   - Plan (plan.go): every (configuration, switch) table of an NES
-//     compiled once, cached per NES, with an amortized batch API. Merged
-//     builds the Section 5.3 deployment shape — one table per switch
-//     holding all configurations' rules behind exact version guards —
-//     whose guard partitions are where indexing pays off most.
+//     compiled once, cached per NES, with an amortized batch API and the
+//     lazily-lowered flat mirror. Merged builds the Section 5.3
+//     deployment shape — one table per switch holding all
+//     configurations' rules behind exact version guards — whose guard
+//     partitions are where indexing pays off most.
 //   - Engine (engine.go): per-switch forwarding workers fed by ring-buffer
 //     queues, processing packets in deterministic bulk-synchronous
 //     generations. Switches keep local event views, react to locally

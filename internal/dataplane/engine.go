@@ -2,25 +2,35 @@ package dataplane
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
-	"eventnet/internal/flowtable"
 	"eventnet/internal/nes"
 	"eventnet/internal/netkat"
 	"eventnet/internal/topo"
 )
 
-// qpkt is an in-flight packet inside the engine. seq totally orders the
-// packets of a generation (assigned deterministically at the generation
-// barrier); branch distinguishes the copies one rule emission produced;
-// epoch names the program generation whose rules must process the packet
-// (per-packet consistency across live swaps: the pair (epoch, version)
-// pins the packet to one configuration of one program for its whole
-// journey).
+// qpkt is an in-flight packet inside the engine, in the flat interned
+// representation: vals holds the value of every schema field whose
+// presence bit is set (indices are relative to the packet's epoch's
+// Schema), and inert is the immutable snapshot of the ingress fields
+// outside the schema, shared by every copy of the injection (nil when
+// there are none) — no rule can test or write those, so they are only
+// read again at the egress conversion. Field writes on the hop loop
+// mutate vals in place; a fresh array is taken (from the worker's free
+// list) only when one rule emission fans out into several copies.
+//
+// seq totally orders the packets of a generation (assigned
+// deterministically at the generation barrier); branch distinguishes the
+// copies one rule emission produced; epoch names the program generation
+// whose rules must process the packet (per-packet consistency across live
+// swaps: the pair (epoch, version) pins the packet to one configuration
+// of one program for its whole journey).
 type qpkt struct {
-	fields  netkat.Packet
+	vals    []int32
+	pres    uint64
+	inert   netkat.Packet
 	inPort  int
 	epoch   int
 	version int
@@ -41,24 +51,30 @@ type ring struct {
 
 func (r *ring) len() int { return r.tail - r.head }
 
-func (r *ring) push(p qpkt) {
+func (r *ring) push(p *qpkt) {
 	if r.tail-r.head == len(r.buf) {
 		grown := make([]qpkt, max(8, 2*len(r.buf)))
 		n := r.copyOut(grown)
 		r.buf, r.head, r.tail = grown, 0, n
 	}
-	r.buf[r.tail%len(r.buf)] = p
+	r.buf[r.tail%len(r.buf)] = *p
 	r.tail++
 }
 
-func (r *ring) pop() qpkt {
-	p := r.buf[r.head%len(r.buf)]
+// peekRef returns the head packet in place, without dequeuing: the hop
+// loop processes it through the pointer (it only appends to worker
+// outboxes, never to the ring it is draining) and then drop releases the
+// slot — saving the ~100-byte struct copy a by-value pop would make on
+// every hop.
+func (r *ring) peekRef() *qpkt { return &r.buf[r.head%len(r.buf)] }
+
+// drop releases the head slot after peekRef processing.
+func (r *ring) drop() {
 	r.buf[r.head%len(r.buf)] = qpkt{} // release references
 	r.head++
 	if r.head == r.tail {
 		r.head, r.tail = 0, 0
 	}
-	return p
 }
 
 // copyOut copies the queued packets into dst in order, returning the count.
@@ -94,14 +110,102 @@ type outEntry struct {
 	pkt qpkt
 }
 
+// mergeRef is the sortable handle of one emission: its deterministic
+// merge key plus its position (worker, outbox index). The merge sorts
+// these small refs and walks the worker outboxes through them — the
+// ~100-byte entries themselves are neither gathered nor moved.
+type mergeRef struct {
+	seq    int64
+	branch int32
+	w      int32
+	idx    int32
+}
+
+// Destination kinds of portDest.
+const (
+	destNone = iota // unconnected port: the packet leaves the modeled network
+	destSwitch
+	destHost
+)
+
+// portDest is the precomputed destination of one (switch, egress port)
+// pair: the peer switch's index and ingress port, or the host it
+// delivers to.
+type portDest struct {
+	kind int8
+	idx  int32 // destination switch index (destSwitch)
+	port int32 // destination ingress port (destSwitch)
+	host string
+}
+
+// flatDelivery is a host delivery retained in the flat representation;
+// the header map is materialized at the accessor boundary
+// (Deliveries/DeliveredTo/CopyDeliveries), keeping the generation merge
+// allocation-free.
+type flatDelivery struct {
+	host   string
+	vals   []int32
+	pres   uint64
+	inert  netkat.Packet
+	schema *Schema
+	stamp  Stamp
+}
+
+// materialize converts the retained delivery to its public form.
+func (d *flatDelivery) materialize() Delivery {
+	return Delivery{Host: d.host, Fields: d.schema.materialize(d.inert, d.vals, d.pres), Stamp: d.stamp}
+}
+
 // worker owns a shard of switches during a generation. All its fields are
 // private to one goroutine between barriers.
 type worker struct {
 	outbox     []outEntry
-	obuf       []flowtable.Output // matcher scratch
+	free       [][]int32 // recycled flat value arrays
 	processed  int64
 	drained    int64 // old-epoch hops during a transition
 	ttlDropped int64 // packets discarded by the hop TTL
+
+	// curPS memoizes the last epoch's progState within one generation
+	// (reset at the generation start: the progs list only changes at
+	// barriers).
+	curPS    *progState
+	curEpoch int
+}
+
+// maxFreeVals bounds a worker's free list. Injections drain worker 0's
+// list, and fan-out copies drain the local one, but a drop-heavy shard
+// on a multi-worker engine could otherwise accumulate one array per
+// dropped packet forever; past the bound, arrays are released to the GC
+// instead.
+const maxFreeVals = 1024
+
+// recycle returns a flat value array to the worker's free list.
+func (wk *worker) recycle(v []int32) {
+	if v != nil && len(wk.free) < maxFreeVals {
+		wk.free = append(wk.free, v)
+	}
+}
+
+// takeVals returns a value array of width n, recycled when one of the
+// right width is available (widths differ only across program epochs;
+// stale arrays from a retired epoch are dropped as encountered).
+func (wk *worker) takeVals(n int) []int32 {
+	for k := len(wk.free); k > 0; k = len(wk.free) {
+		v := wk.free[k-1]
+		wk.free[k-1] = nil
+		wk.free = wk.free[:k-1]
+		if len(v) == n {
+			return v
+		}
+	}
+	return make([]int32, n)
+}
+
+// copyVals duplicates a flat value array, preferring a recycled array.
+func (wk *worker) copyVals(src []int32) []int32 {
+	v := wk.takeVals(len(src))
+	copy(v, src)
+	return v
 }
 
 // Options configure an Engine.
@@ -119,17 +223,111 @@ type Options struct {
 	DeliveryLog int
 }
 
-// progState is one live program generation: its NES, its compiled plan,
-// and the per-switch event views *relative to that program's event
-// universe*. During a swap two progStates coexist — the draining old
-// program and the current one — and a packet's epoch selects which one
-// forwards it.
+// progState is one live program generation: its NES, its compiled plan
+// (with the flat mirror resolved to dense per-switch-index arrays), its
+// header schema, its per-switch precompiled event candidates, and the
+// per-switch event views *relative to that program's event universe*.
+// During a swap two progStates coexist — the draining old program and
+// the current one — and a packet's epoch selects which one forwards it.
+// Packets are interned under their epoch's schema at ingress and only
+// ever matched by that epoch's flat tables, so the two epochs' schemas
+// never need to agree (see docs/DATAPLANE.md on schema soundness across
+// swap epochs).
 type progState struct {
 	epoch    int
 	nes      *nes.NES
 	plan     *Plan
-	views    []nes.Set // per switch index, owner-worker mutated
-	inflight int64     // packets of this epoch queued in rings (maintained at barriers)
+	schema   *Schema
+	flat     [][]*flatTable // [config][switch index]
+	evAt     [][]flatEvent  // [switch index] -> candidate events there
+	views    []nes.Set      // per switch index, owner-worker mutated
+	armed    []armedSlot    // per switch index, owner-worker mutated
+	inflight int64          // packets of this epoch queued in rings (maintained at barriers)
+}
+
+// armedSlot memoizes, per switch, which local events are enabled and
+// consistent from one knowledge set: detection asks this for every hop,
+// but the answer only changes when the switch learns something — so the
+// expensive part of nes.NewlyEnabled (an Enables/Con family walk per
+// candidate event) runs at event-log boundaries, not per packet. The
+// slot is owned by the switch's worker, like the view it shadows.
+type armedSlot struct {
+	valid bool
+	known nes.Set
+	armed nes.Set
+}
+
+// newProgState compiles the engine-resident form of a program: the plan's
+// flat mirror resolved against the engine's switch indexing, and the
+// per-switch event candidate lists with guards lowered to interned
+// literals.
+func (e *Engine) newProgState(epoch int, n *nes.NES) *progState {
+	plan := PlanForMode(n, e.mode)
+	plan.ensureFlat()
+	ps := &progState{
+		epoch:  epoch,
+		nes:    n,
+		plan:   plan,
+		schema: plan.Schema(),
+		views:  make([]nes.Set, len(e.switches)),
+		armed:  make([]armedSlot, len(e.switches)),
+	}
+	ps.flat = make([][]*flatTable, len(plan.flats))
+	for ci := range plan.flats {
+		row := make([]*flatTable, len(e.switches))
+		for sw, ft := range plan.flats[ci] {
+			if i, ok := e.swIdx[sw]; ok {
+				row[i] = ft
+			}
+		}
+		ps.flat[ci] = row
+	}
+	ps.evAt = make([][]flatEvent, len(e.switches))
+	for _, ev := range n.Events {
+		i, ok := e.swIdx[ev.Loc.Switch]
+		if !ok {
+			continue
+		}
+		if fe, live := lowerEvent(ev, plan.Schema()); live {
+			ps.evAt[i] = append(ps.evAt[i], fe)
+		}
+	}
+	return ps
+}
+
+// detect is nes.NewlyEnabled on the flat form: the per-switch candidate
+// list restricts the scan to events located here (preserving ascending
+// event order, so the result is identical), guard evaluation runs on
+// interned indices, and the enabled-and-consistent filter comes from the
+// per-switch armed memo. Whether e joins the result is decided per event
+// against `known` alone (exactly as NewlyEnabled: the out-set check there
+// is pure deduplication, and each candidate appears once here), so
+// factoring the Enables/Con part through the memo cannot change the
+// result. Steady state — no new knowledge, no firing event — the hop
+// performs no allocation.
+func (ps *progState) detect(swIdx, inPort int, vals []int32, pres uint64, known nes.Set) nes.Set {
+	cands := ps.evAt[swIdx]
+	if len(cands) == 0 {
+		return nes.Empty
+	}
+	sl := &ps.armed[swIdx]
+	if !sl.valid || sl.known != known {
+		sl.known, sl.armed, sl.valid = known, ps.nes.ArmedFrom(known), true
+	}
+	if sl.armed == nes.Empty {
+		return nes.Empty
+	}
+	out := nes.Empty
+	for ci := range cands {
+		fe := &cands[ci]
+		if fe.port != inPort || !sl.armed.Has(fe.id) || out.Has(fe.id) {
+			continue
+		}
+		if fe.matches(vals, pres) {
+			out = out.With(fe.id)
+		}
+	}
+	return out
 }
 
 // gAt mirrors runtime.Machine.gAt: the configuration for a view, falling
@@ -222,29 +420,30 @@ type Engine struct {
 
 	mode     Mode
 	workers  int
-	switches []int       // sorted switch IDs; shard w owns indices i ≡ w (mod workers)
-	swIdx    map[int]int // switch ID -> index
-	rings    []*ring     // per switch index, filled at barriers
-	hops     []int64     // per switch index, switch-hops executed (owner-worker mutated)
+	switches []int                // sorted switch IDs; shard w owns indices i ≡ w (mod workers)
+	swIdx    map[int]int          // switch ID -> index
+	hostBy   map[string]topo.Host // host name -> host (Topology.HostByName is a linear scan)
+	rings    []*ring              // per switch index, filled at barriers
+	hops     []int64              // per switch index, switch-hops executed (owner-worker mutated)
 
 	progs []*progState // live program epochs; the last is current for ingress
 	swap  *swapHandle  // active transition, nil otherwise
 
-	// Hot-path topology lookups, precomputed: Topology.LinkFrom rebuilds
-	// the whole link slice per call, which would put an allocation on
-	// every emitted packet.
-	links map[netkat.Location]topo.Link
-	hosts map[int]topo.Host // host node ID -> host
+	// Hot-path topology lookups, precomputed as dense per-switch-index,
+	// per-egress-port destination tables: a map lookup per emitted packet
+	// (let alone Topology.LinkFrom, which rebuilds the link slice per
+	// call) is measurable at line rate.
+	dests [][]portDest
 
 	seq          int64
 	gen          int64
 	processed    int64
-	deliveries   []Delivery
+	deliveries   []flatDelivery
 	deliveryBase int // absolute index of deliveries[0] (log trimming)
 	deliveryCap  int
 	dropped      int64 // packets discarded by the hop TTL
 	ws           []*worker
-	mergeBuf     []outEntry
+	refBuf       []mergeRef // persistent merge-ref buffer (sorted per generation)
 
 	// Served-mode coordination. wmu guards inbox, ctl, serving, stopping
 	// and idle; cond (on wmu) wakes the supervisor and Quiesce/waiters.
@@ -292,7 +491,7 @@ func NewEngine(n *nes.NES, t *topo.Topology, opts Options) *Engine {
 		doneCh:      make(chan struct{}),
 	}
 	e.cond = sync.NewCond(&e.wmu)
-	sort.Ints(e.switches)
+	slices.Sort(e.switches)
 	for i, sw := range e.switches {
 		e.swIdx[sw] = i
 	}
@@ -301,20 +500,33 @@ func NewEngine(n *nes.NES, t *topo.Topology, opts Options) *Engine {
 		e.rings[i] = &ring{}
 	}
 	e.hops = make([]int64, len(e.switches))
-	e.links = map[netkat.Location]topo.Link{}
-	for _, lk := range t.AllLinks() {
-		e.links[lk.Src] = lk
-	}
-	e.hosts = map[int]topo.Host{}
+	e.dests = make([][]portDest, len(e.switches))
+	hosts := map[int]topo.Host{}
+	e.hostBy = map[string]topo.Host{}
 	for _, h := range t.Hosts {
-		e.hosts[h.ID] = h
+		hosts[h.ID] = h
+		e.hostBy[h.Name] = h
 	}
-	e.progs = []*progState{{
-		epoch: 0,
-		nes:   n,
-		plan:  PlanForMode(n, opts.Mode),
-		views: make([]nes.Set, len(e.switches)),
-	}}
+	for _, lk := range t.AllLinks() {
+		i, ok := e.swIdx[lk.Src.Switch]
+		if !ok || lk.Src.Port < 0 {
+			continue
+		}
+		for len(e.dests[i]) <= lk.Src.Port {
+			e.dests[i] = append(e.dests[i], portDest{})
+		}
+		d := &e.dests[i][lk.Src.Port]
+		if h, isHost := hosts[lk.Dst.Switch]; isHost {
+			d.kind = destHost
+			d.host = h.Name
+			d.port = int32(lk.Dst.Port)
+		} else {
+			d.kind = destSwitch
+			d.idx = int32(e.swIdx[lk.Dst.Switch])
+			d.port = int32(lk.Dst.Port)
+		}
+	}
+	e.progs = []*progState{e.newProgState(0, n)}
 	e.ws = make([]*worker, w)
 	for i := range e.ws {
 		e.ws[i] = &worker{}
@@ -339,6 +551,12 @@ func (e *Engine) prog(epoch int) *progState {
 // program's ingress-switch configuration tag (the IN rule) and queues it.
 // Synchronous mode only: Inject must not race with Run or a served
 // engine; use InjectAsync (or Do) there.
+//
+// The schema fields of `fields` are copied out at the call; if the map
+// carries fields outside the program's schema it is additionally
+// retained (read-only) as the packet's inert-field carrier, so the
+// caller must not mutate it afterwards. InjectAsync hands the engine its
+// own copy and has no such restriction.
 func (e *Engine) Inject(host string, fields netkat.Packet) error {
 	_, err := e.InjectStamped(host, fields)
 	return err
@@ -349,7 +567,7 @@ func (e *Engine) Inject(host string, fields netkat.Packet) error {
 // which swap-consistency checks verify deliveries against. Same
 // synchronization contract as Inject.
 func (e *Engine) InjectStamped(host string, fields netkat.Packet) (Stamp, error) {
-	h, ok := e.Topo.HostByName(host)
+	h, ok := e.hostBy[host]
 	if !ok {
 		return Stamp{}, fmt.Errorf("dataplane: unknown host %q", host)
 	}
@@ -357,8 +575,22 @@ func (e *Engine) InjectStamped(host string, fields netkat.Packet) (Stamp, error)
 	i := e.swIdx[h.Attach.Switch]
 	st := Stamp{Epoch: cp.epoch, Version: cp.gAt(cp.views[i])}
 	e.seq++
-	e.rings[i].push(qpkt{
-		fields:  fields.Clone(),
+	// The ingress boundary: one pass interns the schema fields into the
+	// flat array and resolves the inert remainder (shared read-only by
+	// every copy of the journey; usually nil). The value array comes from
+	// worker 0's free list when one of the right width is available —
+	// injection runs at barriers, when workers are quiescent — so a
+	// workload whose packets expire in the network recirculates arrays
+	// instead of growing a free list forever.
+	if err := ValidateDomain(fields); err != nil {
+		return Stamp{}, err
+	}
+	vals := e.ws[0].takeVals(cp.schema.Len())
+	pres, inert := cp.schema.intern(fields, vals)
+	e.rings[i].push(&qpkt{
+		vals:    vals,
+		pres:    pres,
+		inert:   inert,
 		inPort:  h.Attach.Port,
 		epoch:   st.Epoch,
 		version: st.Version,
@@ -459,7 +691,8 @@ func (e *Engine) admitInbox() {
 	e.inbox = nil
 	e.wmu.Unlock()
 	for _, r := range reqs {
-		// The host was validated at InjectAsync time; errors cannot occur.
+		// Host and value domain were validated at InjectAsync time;
+		// errors cannot occur.
 		e.Inject(r.host, r.fields)
 	}
 }
@@ -487,40 +720,59 @@ func (e *Engine) retireIfDrained() {
 // (parent seq, branch) merge assigning fresh seqs.
 func (e *Engine) generation() {
 	e.gen++
-	var wg sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			wk := e.ws[w]
-			wk.outbox = wk.outbox[:0]
-			for i := w; i < len(e.switches); i += e.workers {
-				e.drain(wk, i)
-			}
-		}(w)
+	if e.workers == 1 {
+		// Single worker: drain inline. Spawning the goroutine would put a
+		// closure allocation and a scheduler round-trip on every
+		// generation for nothing.
+		wk := e.ws[0]
+		wk.outbox = wk.outbox[:0]
+		wk.curPS, wk.curEpoch = nil, -1
+		for i := 0; i < len(e.switches); i++ {
+			e.drain(wk, i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < e.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wk := e.ws[w]
+				wk.outbox = wk.outbox[:0]
+				wk.curPS, wk.curEpoch = nil, -1
+				for i := w; i < len(e.switches); i += e.workers {
+					e.drain(wk, i)
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	// Barrier: merge every worker's emissions into the per-switch rings
 	// in the deterministic (parent seq, branch) order, and assign fresh
 	// seqs in that same order so the next generation is ordered no matter
 	// which worker produced what.
-	all := e.mergeBuf[:0]
+	refs := e.refBuf[:0]
 	genHops, genDrained := int64(0), int64(0)
-	for _, wk := range e.ws {
-		all = append(all, wk.outbox...)
+	for w, wk := range e.ws {
+		for i := range wk.outbox {
+			refs = append(refs, mergeRef{seq: wk.outbox[i].pkt.seq, branch: wk.outbox[i].pkt.branch, w: int32(w), idx: int32(i)})
+		}
 		e.processed += wk.processed
 		genHops += wk.processed
 		genDrained += wk.drained
 		e.dropped += wk.ttlDropped
 		wk.processed, wk.drained, wk.ttlDropped = 0, 0, 0
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := &all[i], &all[j]
-		if a.pkt.seq != b.pkt.seq {
-			return a.pkt.seq < b.pkt.seq
+	// (parent seq, branch) keys are unique per emission, so the unstable
+	// sort is deterministic.
+	slices.SortFunc(refs, func(a, b mergeRef) int {
+		if a.seq != b.seq {
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
 		}
-		return a.pkt.branch < b.pkt.branch
+		return int(a.branch) - int(b.branch)
 	})
 	// The generation consumed every queued packet; the rings now hold
 	// exactly what the merge pushes back, so per-epoch inflight counts
@@ -528,20 +780,25 @@ func (e *Engine) generation() {
 	for _, ps := range e.progs {
 		ps.inflight = 0
 	}
-	for i := range all {
-		en := &all[i]
+	for ri := range refs {
+		en := &e.ws[refs[ri].w].outbox[refs[ri].idx]
 		if en.dst < 0 {
-			e.deliveries = append(e.deliveries, Delivery{
-				Host:   en.hos,
-				Fields: en.pkt.fields,
-				Stamp:  Stamp{Epoch: en.pkt.epoch, Version: en.pkt.version},
+			// Retention stays flat; the packet's epoch is live at this
+			// merge (retirement is decided below), so its schema resolves.
+			e.deliveries = append(e.deliveries, flatDelivery{
+				host:   en.hos,
+				vals:   en.pkt.vals,
+				pres:   en.pkt.pres,
+				inert:  en.pkt.inert,
+				schema: e.prog(en.pkt.epoch).schema,
+				stamp:  Stamp{Epoch: en.pkt.epoch, Version: en.pkt.version},
 			})
 			continue
 		}
 		e.seq++
 		en.pkt.seq = e.seq
 		en.pkt.branch = 0
-		e.rings[en.dst].push(en.pkt)
+		e.rings[en.dst].push(&en.pkt)
 		if ps := e.prog(en.pkt.epoch); ps != nil {
 			ps.inflight++
 		}
@@ -554,7 +811,7 @@ func (e *Engine) generation() {
 		e.deliveryBase += drop
 		e.deliveries = append(e.deliveries[:0], e.deliveries[drop:]...)
 	}
-	e.mergeBuf = all[:0]
+	e.refBuf = refs[:0]
 	if e.swap != nil {
 		e.swap.s.stats.TransitionHops += genHops
 		e.swap.s.stats.DrainedHops += genDrained
@@ -567,81 +824,130 @@ func (e *Engine) generation() {
 }
 
 // drain processes every packet queued at switch index i (the SWITCH rule,
-// one hop) on the calling worker.
+// one hop) on the calling worker. This is the engine's hot loop, and it
+// runs entirely on the flat representation: matching, event detection and
+// field writes touch only interned indices, value arrays mutate in place
+// (copied only when one emission fans out), and every early exit recycles
+// the packet's value array — steady state, the loop allocates nothing.
 func (e *Engine) drain(wk *worker, i int) {
 	r := e.rings[i]
-	sw := e.switches[i]
 	oldEpoch := -1
 	var newPS *progState
 	if e.swap != nil && len(e.progs) == 2 {
 		oldEpoch = e.progs[0].epoch
 		newPS = e.progs[1]
 	}
+	dests := e.dests[i]
 	for r.len() > 0 {
-		p := r.pop()
-		if p.hops >= maxPacketHops {
-			wk.ttlDropped++
-			continue // forwarding loop: discard (see maxPacketHops)
-		}
-		wk.processed++
-		e.hops[i]++
+		e.hop(wk, i, dests, r.peekRef(), oldEpoch, newPS)
+		r.drop()
+	}
+}
 
-		ps := e.prog(p.epoch)
+// hop forwards one queued packet one switch-hop: the body of the drain
+// loop, factored so every early exit releases the ring slot through one
+// drop call.
+func (e *Engine) hop(wk *worker, i int, dests []portDest, p *qpkt, oldEpoch int, newPS *progState) {
+	if p.hops >= maxPacketHops {
+		wk.ttlDropped++
+		wk.recycle(p.vals)
+		return // forwarding loop: discard (see maxPacketHops)
+	}
+	wk.processed++
+	e.hops[i]++
+
+	ps := wk.curPS
+	if ps == nil || p.epoch != wk.curEpoch {
+		ps = e.prog(p.epoch)
 		if ps == nil {
-			continue // stamped by a retired epoch; cannot happen post-drain
+			wk.recycle(p.vals)
+			return // stamped by a retired epoch; cannot happen post-drain
 		}
+		wk.curPS, wk.curEpoch = ps, p.epoch
+	}
 
-		// Event handling: learn from the digest, detect newly enabled
-		// events this packet's arrival matches, update the local view.
-		view := ps.views[i]
-		known := view.Union(p.digest)
-		lp := netkat.LocatedPacket{Pkt: p.fields, Loc: netkat.Location{Switch: sw, Port: p.inPort}}
-		newly := ps.nes.NewlyEnabled(known, lp)
-		ps.views[i] = known.Union(newly)
-		outDigest := p.digest.Union(view).Union(newly)
+	// Event handling: learn from the digest, detect newly enabled
+	// events this packet's arrival matches, update the local view.
+	view := ps.views[i]
+	known := view.Union(p.digest)
+	newly := ps.detect(i, p.inPort, p.vals, p.pres, known)
+	ps.views[i] = known.Union(newly)
+	outDigest := p.digest.Union(view).Union(newly)
 
-		// Live knowledge transfer during a transition: an event the old
-		// program detects at this switch is admitted into the *new*
-		// program's view here too (through the event mapping), so
-		// detections made by draining packets are not lost to the
-		// successor. Detection happens exactly once per event, at one
-		// switch, so this rule together with the flip-time replay is the
-		// complete carry-over discipline (docs/CONTROLLER.md).
-		if newPS != nil && p.epoch == oldEpoch {
-			wk.drained++
-			if newly != nes.Empty {
-				if mapped := mapEvents(newly, e.swap.spec.MapEvent); mapped != nes.Empty {
-					newPS.views[i] = newPS.nes.Admit(newPS.views[i], mapped)
-				}
+	// Live knowledge transfer during a transition: an event the old
+	// program detects at this switch is admitted into the *new*
+	// program's view here too (through the event mapping), so
+	// detections made by draining packets are not lost to the
+	// successor. Detection happens exactly once per event, at one
+	// switch, so this rule together with the flip-time replay is the
+	// complete carry-over discipline (docs/CONTROLLER.md).
+	if newPS != nil && p.epoch == oldEpoch {
+		wk.drained++
+		if newly != nes.Empty {
+			if mapped := mapEvents(newly, e.swap.spec.MapEvent); mapped != nes.Empty {
+				newPS.views[i] = newPS.nes.Admit(newPS.views[i], mapped)
 			}
 		}
+	}
 
-		// Forward with the packet's tagged configuration of its epoch.
-		m := ps.plan.Matcher(p.version, sw)
-		if m == nil {
+	// Forward with the packet's tagged configuration of its epoch.
+	ft := ps.flat[p.version][i]
+	if ft == nil {
+		wk.recycle(p.vals)
+		return
+	}
+	ri := ft.lookup(p.vals, p.pres, p.inPort, 0)
+	if ri < 0 {
+		wk.recycle(p.vals)
+		return // default drop
+	}
+	groups := ft.rules[ri].groups
+	// Each group applies its writes to the packet *as it arrived*, so
+	// the last emitting group inherits p.vals in place and earlier
+	// ones copy the pristine array first.
+	last := -1
+	for gi := range groups {
+		if pt := int(groups[gi].outPort); pt >= 0 && pt < len(dests) && dests[pt].kind != destNone {
+			last = gi
+		}
+	}
+	if last < 0 {
+		wk.recycle(p.vals)
+		return // drop, or every copy leaves the modeled network
+	}
+	for gi := 0; gi <= last; gi++ {
+		g := &groups[gi]
+		pt := int(g.outPort)
+		if pt < 0 || pt >= len(dests) {
+			continue // unconnected port: leaves the modeled network
+		}
+		d := &dests[pt]
+		if d.kind == destNone {
 			continue
 		}
-		wk.obuf = m.Process(wk.obuf[:0], p.fields, p.inPort, 0)
-		for bi, o := range wk.obuf {
-			lk, ok := e.links[netkat.Location{Switch: sw, Port: o.Port}]
-			if !ok {
-				continue // unconnected port: leaves the modeled network
-			}
-			out := qpkt{
-				fields:  o.Pkt,
-				inPort:  lk.Dst.Port,
-				epoch:   p.epoch,
-				version: p.version,
-				digest:  outDigest,
-				seq:     p.seq,
-				branch:  int32(bi),
-				hops:    p.hops + 1,
-			}
-			if h, isHost := e.hosts[lk.Dst.Switch]; isHost {
-				wk.outbox = append(wk.outbox, outEntry{dst: -1, hos: h.Name, pkt: out})
-			} else {
-				wk.outbox = append(wk.outbox, outEntry{dst: e.swIdx[lk.Dst.Switch], pkt: out})
-			}
+		vals := p.vals
+		if gi != last {
+			vals = wk.copyVals(p.vals)
+		}
+		for si, fi := range g.setIdx {
+			vals[fi] = g.setVal[si]
+		}
+		out := qpkt{
+			vals:    vals,
+			pres:    p.pres | g.setMask,
+			inert:   p.inert,
+			inPort:  int(d.port),
+			epoch:   p.epoch,
+			version: p.version,
+			digest:  outDigest,
+			seq:     p.seq,
+			branch:  int32(gi),
+			hops:    p.hops + 1,
+		}
+		if d.kind == destHost {
+			wk.outbox = append(wk.outbox, outEntry{dst: -1, hos: d.host, pkt: out})
+		} else {
+			wk.outbox = append(wk.outbox, outEntry{dst: int(d.idx), pkt: out})
 		}
 	}
 }
@@ -691,12 +997,7 @@ func (e *Engine) flip(spec SwapSpec, s *Swap) error {
 	if spec.MapEvent != nil && len(spec.MapEvent) != len(old.nes.Events) {
 		return fmt.Errorf("dataplane: MapEvent has %d entries for %d old events", len(spec.MapEvent), len(old.nes.Events))
 	}
-	np := &progState{
-		epoch: old.epoch + 1,
-		nes:   spec.NES,
-		plan:  PlanForMode(spec.NES, e.mode),
-		views: make([]nes.Set, len(e.switches)),
-	}
+	np := e.newProgState(old.epoch+1, spec.NES)
 	carried := 0
 	for i := range np.views {
 		if spec.MapEvent != nil {
@@ -783,8 +1084,11 @@ func (e *Engine) serve() {
 // barrier. Safe for concurrent use while the engine is serving; on a
 // non-serving engine it is plain Inject.
 func (e *Engine) InjectAsync(host string, fields netkat.Packet) error {
-	if _, ok := e.Topo.HostByName(host); !ok {
+	if _, ok := e.hostBy[host]; !ok {
 		return fmt.Errorf("dataplane: unknown host %q", host)
+	}
+	if err := ValidateDomain(fields); err != nil {
+		return err
 	}
 	e.wmu.Lock()
 	if !e.serving {
@@ -896,9 +1200,11 @@ func (e *Engine) Snapshot() Snapshot {
 }
 
 // CopyDeliveries returns a barrier-consistent copy of the retained
-// deliveries from absolute index `from` on (safe while serving). With a
-// bounded delivery log, deliveries older than the retention window are
-// gone; Snapshot.Deliveries still counts them.
+// deliveries from absolute index `from` on (safe while serving), with
+// header maps materialized from the flat retention — the egress
+// conversion happens here, once per delivery read, not on the hop loop.
+// With a bounded delivery log, deliveries older than the retention
+// window are gone; Snapshot.Deliveries still counts them.
 func (e *Engine) CopyDeliveries(from int) []Delivery {
 	var out []Delivery
 	e.Do(func() {
@@ -906,8 +1212,8 @@ func (e *Engine) CopyDeliveries(from int) []Delivery {
 		if i < 0 {
 			i = 0
 		}
-		if i < len(e.deliveries) {
-			out = append(out, e.deliveries[i:]...)
+		for ; i < len(e.deliveries); i++ {
+			out = append(out, e.deliveries[i].materialize())
 		}
 	})
 	return out
@@ -916,16 +1222,23 @@ func (e *Engine) CopyDeliveries(from int) []Delivery {
 // ---- Synchronous-mode accessors --------------------------------------
 
 // Deliveries returns every packet delivered to a host, in the engine's
-// deterministic delivery order. Synchronous mode only; use CopyDeliveries
-// on a serving engine.
-func (e *Engine) Deliveries() []Delivery { return e.deliveries }
+// deterministic delivery order, materialized from the flat retention.
+// Synchronous mode only; use CopyDeliveries on a serving engine.
+func (e *Engine) Deliveries() []Delivery {
+	out := make([]Delivery, len(e.deliveries))
+	for i := range e.deliveries {
+		out[i] = e.deliveries[i].materialize()
+	}
+	return out
+}
 
 // DeliveredTo returns the packets delivered to the named host.
 func (e *Engine) DeliveredTo(host string) []netkat.Packet {
 	var out []netkat.Packet
-	for _, d := range e.deliveries {
-		if d.Host == host {
-			out = append(out, d.Fields)
+	for i := range e.deliveries {
+		if e.deliveries[i].host == host {
+			d := &e.deliveries[i]
+			out = append(out, d.schema.materialize(d.inert, d.vals, d.pres))
 		}
 	}
 	return out

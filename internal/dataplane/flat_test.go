@@ -1,0 +1,256 @@
+package dataplane_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/dataplane"
+	"eventnet/internal/flowtable"
+	"eventnet/internal/netkat"
+	"eventnet/internal/nkc"
+	"eventnet/internal/stateful"
+	"eventnet/internal/topo"
+)
+
+// TestFlatMatcherEquivalence is the flat-path acceptance property: on
+// every reachable state of every application, for randomized packets,
+// in-ports and tags, forwarding through the schema-interned flat
+// lowering (both the indexed and the linear-scan plane) is byte-equal to
+// forwarding the map-form packet through the map-form matchers.
+func TestFlatMatcherEquivalence(t *testing.T) {
+	for _, a := range propApps() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			states, _, err := a.Prog.ReachableStates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts := hostAddrs(a.Topo)
+			r := rand.New(rand.NewSource(71))
+			for _, st := range states {
+				pol := stateful.Project(a.Prog.Cmd, st)
+				tables, err := nkc.Compile(pol, a.Topo)
+				if err != nil {
+					t.Fatalf("state %v: %v", st, err)
+				}
+				schema := dataplane.SchemaForTables(tables)
+				for _, sw := range tables.Switches() {
+					tbl := tables[sw]
+					ref := dataplane.Scan{Table: tbl}
+					flatIdx := dataplane.CompileFlat(tbl, schema)
+					flatScan := dataplane.FlatScanOf(tbl, schema)
+					if flatIdx.Len() != ref.Len() || flatScan.Len() != ref.Len() {
+						t.Fatalf("state %v sw %d: rule counts differ", st, sw)
+					}
+					for i := 0; i < 200; i++ {
+						pkt, port, tag := randProbe(r, hosts)
+						want := ref.Process(nil, pkt, port, tag)
+						gotIdx := flatIdx.Process(nil, pkt, port, tag)
+						gotScan := flatScan.Process(nil, pkt, port, tag)
+						if !sameOutputs(gotIdx, want) || !sameOutputs(gotScan, want) {
+							t.Fatalf("state %v sw %d pkt %v port %d tag %d:\nflat-indexed %v\nflat-scan %v\nmap %v\ntable:\n%v",
+								st, sw, pkt, port, tag, gotIdx, gotScan, want, tbl)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// flatConfig drives journeys through flat matchers (the flat analogue of
+// matcherConfig), for the netkat.Eval leg of the equivalence property.
+type flatConfig struct {
+	ms   map[int]dataplane.FlatMatcher
+	has  map[int]bool
+	topo *topo.Topology
+}
+
+func (c flatConfig) DStep(d netkat.DPacket) []netkat.DPacket {
+	var outs []netkat.DPacket
+	switch {
+	case c.topo.IsHostNode(d.Loc.Switch):
+		if !d.Out {
+			return nil
+		}
+		h, _ := c.topo.HostByID(d.Loc.Switch)
+		outs = append(outs, netkat.DPacket{Pkt: d.Pkt, Loc: h.Attach})
+	case d.Out:
+		if lk, ok := c.topo.LinkFrom(d.Loc); ok {
+			if h, isHost := c.topo.HostByID(lk.Dst.Switch); isHost {
+				outs = append(outs, netkat.DPacket{Pkt: d.Pkt, Loc: h.Loc()})
+			} else {
+				outs = append(outs, netkat.DPacket{Pkt: d.Pkt, Loc: lk.Dst})
+			}
+		}
+	default:
+		if c.has[d.Loc.Switch] {
+			for _, o := range c.ms[d.Loc.Switch].Process(nil, d.Pkt, d.Loc.Port, 0) {
+				outs = append(outs, netkat.DPacket{Pkt: o.Pkt, Loc: netkat.Location{Switch: d.Loc.Switch, Port: o.Port}, Out: true})
+			}
+		}
+	}
+	return outs
+}
+
+// TestFlatEvalEquivalence closes the triangle for the flat path:
+// journeying host emissions through flat matchers visits exactly the
+// directed packets the map-form linear scan visits, and every final
+// header netkat.Eval predicts for the state's projected policy is
+// reached — on every reachable state.
+func TestFlatEvalEquivalence(t *testing.T) {
+	cases := []apps.App{apps.Firewall(), apps.LearningSwitch(), apps.Authentication(), apps.BandwidthCap(10), apps.IDS(), apps.WalledGarden(), apps.DistributedFirewall(), apps.Ring(3), apps.IDSFatTree(4)}
+	for _, a := range cases {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			states, _, err := a.Prog.ReachableStates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts := hostAddrs(a.Topo)
+			for _, st := range states {
+				pol := stateful.Project(a.Prog.Cmd, st)
+				tables, err := nkc.Compile(pol, a.Topo)
+				if err != nil {
+					t.Fatalf("state %v: %v", st, err)
+				}
+				schema := dataplane.SchemaForTables(tables)
+				flat := flatConfig{ms: map[int]dataplane.FlatMatcher{}, has: map[int]bool{}, topo: a.Topo}
+				scan := matcherConfig{ms: map[int]dataplane.Matcher{}, topo: a.Topo}
+				for _, sw := range tables.Switches() {
+					flat.ms[sw] = dataplane.CompileFlat(tables[sw], schema)
+					flat.has[sw] = true
+					scan.ms[sw] = dataplane.Scan{Table: tables[sw]}
+				}
+				var lps []netkat.LocatedPacket
+				for _, lk := range a.Topo.AllLinks() {
+					h, ok := a.Topo.HostByID(lk.Dst.Switch)
+					if !ok {
+						continue
+					}
+					for _, dst := range hosts {
+						lps = append(lps,
+							netkat.LocatedPacket{Pkt: netkat.Packet{"dst": dst, "src": h.ID}, Loc: h.Loc()},
+							netkat.LocatedPacket{Pkt: netkat.Packet{"dst": dst, "sig": 1, "probe": 7}, Loc: h.Loc()})
+					}
+				}
+				for _, lp := range lps {
+					start := netkat.DPacket{Pkt: lp.Pkt, Loc: lp.Loc, Out: true}
+					visF, reachF := journey(t, flat, start)
+					visS, _ := journey(t, scan, start)
+					if len(visF) != len(visS) {
+						t.Fatalf("state %v from %v: flat visits %d, scan visits %d", st, lp, len(visF), len(visS))
+					}
+					for k := range visF {
+						if !visS[k] {
+							t.Fatalf("state %v from %v: flat visits %s, scan does not", st, lp, k)
+						}
+					}
+					h, _ := a.Topo.HostByID(lp.Loc.Switch)
+					ingress := netkat.LocatedPacket{Pkt: lp.Pkt, Loc: h.Attach}
+					for _, want := range netkat.Eval(pol, ingress) {
+						if !reachF[want.Key()] {
+							t.Fatalf("state %v: Eval predicts %v from %v but the flat matchers never reach it", st, want, ingress)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMergedPairFlatSharedSchema pins the swap-epoch schema property:
+// the staged MergedPair table — one physical table holding both
+// programs' rules behind disjoint guards — compiles flat under ONE
+// schema spanning both programs (SchemaForPair), and looking up a packet
+// under either program's tag is byte-equal to that program's own
+// per-config map-form table. Interning through the shared schema cannot
+// change the matched rule.
+func TestMergedPairFlatSharedSchema(t *testing.T) {
+	old := buildNES(t, apps.Firewall())
+	new_ := buildNES(t, apps.BandwidthCap(10))
+	tables, off := dataplane.MergedPair(old, new_)
+	schema := dataplane.SchemaForPair(old, new_)
+	hostsOld := hostAddrs(apps.Firewall().Topo)
+	r := rand.New(rand.NewSource(97))
+	for _, sw := range tables.Switches() {
+		flat := dataplane.CompileFlat(tables[sw], schema)
+		check := func(tag uint32, ref dataplane.Matcher) {
+			for i := 0; i < 100; i++ {
+				pkt, port, _ := randProbe(r, hostsOld)
+				got := flat.Process(nil, pkt, port, tag)
+				want := ref.Process(nil, pkt, port, 0)
+				if !sameOutputs(got, want) {
+					t.Fatalf("sw %d tag %d pkt %v port %d:\nflat-merged %v\nper-config %v", sw, tag, pkt, port, got, want)
+				}
+			}
+		}
+		for ci := range old.Configs {
+			ref := dataplane.Matcher(dataplane.Scan{Table: &flowtable.Table{}})
+			if tbl, ok := old.Configs[ci].Tables[sw]; ok {
+				ref = dataplane.Scan{Table: tbl}
+			}
+			check(uint32(ci), ref)
+		}
+		for ci := range new_.Configs {
+			ref := dataplane.Matcher(dataplane.Scan{Table: &flowtable.Table{}})
+			if tbl, ok := new_.Configs[ci].Tables[sw]; ok {
+				ref = dataplane.Scan{Table: tbl}
+			}
+			check(uint32(off+ci), ref)
+		}
+	}
+}
+
+// TestEngineFlatDeliveryHeaders pins the egress conversion end-to-end:
+// for a seeded workload on both planes, the engine's delivered headers
+// (flat vals + inert carrier materialized at the accessor) are byte-equal
+// between the indexed and scan planes and carry inert fields through
+// unchanged.
+func TestEngineFlatDeliveryHeaders(t *testing.T) {
+	for _, a := range []apps.App{apps.Firewall(), apps.BandwidthCap(10), apps.WalledGarden()} {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			batches := loadBatches(t, a, 2, 40)
+			// Tag every injection with an inert marker to prove carriage.
+			for _, b := range batches {
+				for i := range b {
+					b[i].Fields["trace_marker"] = 1000 + i
+				}
+			}
+			idx := runEngine(t, a, dataplane.Options{Workers: 2}, batches)
+			scan := runEngine(t, a, dataplane.Options{Workers: 2, Mode: dataplane.ModeScan}, batches)
+			if len(idx) == 0 {
+				t.Fatal("workload delivered nothing; test is vacuous")
+			}
+			if !sameDeliveries(idx, scan) {
+				t.Fatalf("flat deliveries differ between planes: %d vs %d", len(idx), len(scan))
+			}
+			for _, d := range idx {
+				if _, ok := d.Fields["trace_marker"]; !ok {
+					t.Fatalf("delivery to %s lost its inert field: %v", d.Host, d.Fields)
+				}
+			}
+		})
+	}
+}
+
+// TestInjectRejectsOutOfDomainValues: flat values are int32; rather than
+// silently truncating (which would diverge from the map-form and
+// netkat.Eval semantics), Inject rejects schema-field values outside the
+// domain.
+func TestInjectRejectsOutOfDomainValues(t *testing.T) {
+	a := apps.Firewall()
+	n := buildNES(t, a)
+	e := dataplane.NewEngine(n, a.Topo, dataplane.Options{})
+	if err := e.Inject("H1", netkat.Packet{"dst": 1 << 40}); err == nil {
+		t.Fatal("Inject accepted a header value outside the int32 flat-value domain")
+	}
+	if err := e.Inject("H1", netkat.Packet{"dst": apps.H(4), "src": apps.H(1)}); err != nil {
+		t.Fatalf("in-domain injection rejected: %v", err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,18 +21,29 @@ type Packet struct {
 }
 
 // Plan is an NES with every (configuration, switch) flow table compiled
-// to a Matcher. Plans are immutable after construction and safe for
-// concurrent use.
+// to a Matcher, plus the program's header Schema and (built lazily, for
+// the Engine's hop loop) the flat-lowered mirror of every matcher. Plans
+// are immutable after construction and safe for concurrent use.
 type Plan struct {
 	mode     Mode
+	nes      *nes.NES
 	matchers []map[int]Matcher // [config][switch]
+
+	// Schema construction and flat lowering are deferred until an Engine
+	// adopts the plan: the sim planes and runtime.Machine forward through
+	// the map-form matchers and never pay for either (ModeScan plans in
+	// particular stay the cheap wrap-without-copying they always were).
+	schemaOnce sync.Once
+	schema     *Schema
+	flatOnce   sync.Once
+	flats      []map[int]*flatTable // [config][switch]
 }
 
 // ForNES compiles a plan for the NES in the given mode. ModeScan wraps
 // the existing tables without copying; ModeIndexed compiles each table's
 // index once, amortizing it over every packet forwarded afterwards.
 func ForNES(n *nes.NES, mode Mode) *Plan {
-	p := &Plan{mode: mode, matchers: make([]map[int]Matcher, len(n.Configs))}
+	p := &Plan{mode: mode, nes: n, matchers: make([]map[int]Matcher, len(n.Configs))}
 	for ci := range n.Configs {
 		ms := make(map[int]Matcher, len(n.Configs[ci].Tables))
 		for sw, t := range n.Configs[ci].Tables {
@@ -45,6 +56,32 @@ func ForNES(n *nes.NES, mode Mode) *Plan {
 		p.matchers[ci] = ms
 	}
 	return p
+}
+
+// Schema returns the plan's header schema, building it on first use.
+func (p *Plan) Schema() *Schema {
+	p.schemaOnce.Do(func() { p.schema = SchemaFor(p.nes) })
+	return p.schema
+}
+
+// ensureFlat lowers every matcher of the plan to its flat form, once.
+func (p *Plan) ensureFlat() {
+	p.flatOnce.Do(func() {
+		s := p.Schema()
+		p.flats = make([]map[int]*flatTable, len(p.matchers))
+		for ci, ms := range p.matchers {
+			fm := make(map[int]*flatTable, len(ms))
+			for sw, m := range ms {
+				switch t := m.(type) {
+				case *CompiledTable:
+					fm[sw] = newFlatIndexed(t, s)
+				case Scan:
+					fm[sw] = newFlatScan(t.Table, s)
+				}
+			}
+			p.flats[ci] = fm
+		}
+	})
 }
 
 // planCache memoizes indexed plans keyed by program identity (the *nes.NES
@@ -237,4 +274,19 @@ func MergedPair(old, new_ *nes.NES) (flowtable.Tables, int) {
 	dst := mergedInto(flowtable.Tables{}, old, 0, bits)
 	dst = mergedInto(dst, new_, off, bits)
 	return dst, off
+}
+
+// Flat returns the plan's flat matcher for a configuration's switch (ok
+// is false when the configuration installs no table there). The flat
+// mirror is lowered on first use.
+func (p *Plan) Flat(version, sw int) (FlatMatcher, bool) {
+	p.ensureFlat()
+	if version < 0 || version >= len(p.flats) {
+		return FlatMatcher{}, false
+	}
+	ft, ok := p.flats[version][sw]
+	if !ok {
+		return FlatMatcher{}, false
+	}
+	return FlatMatcher{schema: p.Schema(), ft: ft}, true
 }

@@ -1,0 +1,203 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"eventnet/internal/flowtable"
+	"eventnet/internal/nes"
+	"eventnet/internal/netkat"
+)
+
+// maxSchemaFields caps a schema at the width of the flat packet's
+// presence bitmap. A program's header universe is derived from its rules
+// and event guards — a handful of fields in every workload this system
+// compiles — so the cap is a sanity bound in the spirit of nes.MaxEvents,
+// not a practical limit.
+const maxSchemaFields = 64
+
+// Schema is a compiled program's header schema: every field name the
+// program can test or write, interned to a small dense integer. It is
+// built once per Plan (from the NES's flow tables and event guards) and
+// shared by every matcher of that plan, so a packet interned at ingress
+// stays valid at every switch and configuration of its program.
+//
+// Fields outside the schema are *inert*: no rule tests or writes them, so
+// they cannot influence forwarding and pass through a journey unchanged.
+// The flat representation therefore carries only schema fields; inert
+// fields ride along on the shared, immutable ingress map and are folded
+// back in at delivery (see materialize).
+//
+// Schemas are immutable after construction and safe for concurrent use.
+type Schema struct {
+	fields []string       // index -> name, sorted for determinism
+	index  map[string]int // name -> index
+}
+
+// NewSchema interns the given field names (deduplicated, sorted). It
+// panics beyond maxSchemaFields; see the constant.
+func NewSchema(names []string) *Schema {
+	uniq := map[string]bool{}
+	for _, f := range names {
+		uniq[f] = true
+	}
+	s := &Schema{index: make(map[string]int, len(uniq))}
+	for f := range uniq {
+		s.fields = append(s.fields, f)
+	}
+	sort.Strings(s.fields)
+	if len(s.fields) > maxSchemaFields {
+		panic(fmt.Sprintf("dataplane: program uses %d header fields; the flat packet representation caps at %d", len(s.fields), maxSchemaFields))
+	}
+	for i, f := range s.fields {
+		s.index[f] = i
+	}
+	return s
+}
+
+// SchemaFor builds the schema of one compiled program: the union of every
+// field its flow tables match, exclude, or set, plus every packet field
+// its event guards test ("sw" and "pt" are location pseudo-fields,
+// resolved statically against each event's location — see compileEvents —
+// and never interned).
+func SchemaFor(n *nes.NES) *Schema {
+	return NewSchema(programFields(n))
+}
+
+// SchemaForPair builds one schema spanning both programs of a staged
+// swap: the deployment shape of a live update (dataplane.MergedPair) is a
+// single physical table holding both programs' rules, so its compiled
+// form must intern both field universes consistently.
+func SchemaForPair(old, new_ *nes.NES) *Schema {
+	return NewSchema(append(programFields(old), programFields(new_)...))
+}
+
+// programFields collects the field names of one program (with possible
+// duplicates; NewSchema dedups).
+func programFields(n *nes.NES) []string {
+	var out []string
+	for ci := range n.Configs {
+		for _, t := range n.Configs[ci].Tables {
+			out = appendTableFields(out, t)
+		}
+	}
+	for _, ev := range n.Events {
+		for _, f := range ev.Guard.EqFields() {
+			if f != netkat.FieldSw && f != netkat.FieldPt {
+				out = append(out, f)
+			}
+		}
+		for _, f := range ev.Guard.NeqFields() {
+			if f != netkat.FieldSw && f != netkat.FieldPt {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// SchemaForTables builds a schema from flow tables alone (no event
+// guards) — the form standalone matcher tests use for merged tables.
+func SchemaForTables(ts flowtable.Tables) *Schema {
+	var out []string
+	for _, t := range ts {
+		out = appendTableFields(out, t)
+	}
+	return NewSchema(out)
+}
+
+func appendTableFields(out []string, t *flowtable.Table) []string {
+	for ri := range t.Rules {
+		r := &t.Rules[ri]
+		for f := range r.Match.Fields {
+			out = append(out, f)
+		}
+		for f := range r.Match.Excludes {
+			out = append(out, f)
+		}
+		for _, g := range r.Groups {
+			for f := range g.Sets {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// Len returns the number of interned fields — the width of every flat
+// value array of this schema.
+func (s *Schema) Len() int { return len(s.fields) }
+
+// Index returns the interned index of a field name.
+func (s *Schema) Index(f string) (int, bool) {
+	i, ok := s.index[f]
+	return i, ok
+}
+
+// Field returns the name behind an interned index.
+func (s *Schema) Field(i int) string { return s.fields[i] }
+
+// intern loads a packet's schema fields into the flat value array in one
+// pass, returning the presence bitmap (bit i set ⇔ field i present) and
+// the inert carrier: nil when every field was interned (the common
+// case), else the ingress map itself, retained by reference — its
+// non-schema fields are inert by construction (no rule can test or
+// write them), so the engine never copies them, it only reads them back
+// at the egress conversion. vals must be at least Len() long; slots
+// without a presence bit are left as-is (matching and materialization
+// read values only under their bit, so recycled arrays need no zeroing).
+// This is the single ingress-boundary conversion.
+// Flat values are int32: header values in this system are host
+// addresses, ports and small program constants. The boundaries enforce
+// the domain — ValidateDomain runs at both injection entry points
+// (Inject and InjectAsync) and lowerValue panics on out-of-range rule
+// constants at compile time — so interning can never silently truncate
+// and diverge from the map-form semantics.
+func (s *Schema) intern(fields netkat.Packet, vals []int32) (uint64, netkat.Packet) {
+	pres := uint64(0)
+	n := 0
+	for f, v := range fields {
+		if i, ok := s.index[f]; ok {
+			vals[i] = int32(v)
+			pres |= 1 << uint(i)
+			n++
+		}
+	}
+	if n == len(fields) {
+		return pres, nil
+	}
+	return pres, fields
+}
+
+// ValidateDomain rejects packets with header values outside the int32
+// flat-value domain (uniformly, inert fields included). Both injection
+// entry points call it, so a served-mode client gets the error back
+// rather than a silent drop at the admission barrier.
+func ValidateDomain(fields netkat.Packet) error {
+	for f, v := range fields {
+		if int(int32(v)) != v {
+			return fmt.Errorf("dataplane: header field %q value %d outside the int32 flat-value domain", f, v)
+		}
+	}
+	return nil
+}
+
+// materialize rebuilds the full header map of a flat packet: the inert
+// fields of its retained ingress map (those outside the schema; schema
+// fields reflect the current flat values instead) plus the current value
+// of every present schema field. This is the single egress-boundary
+// conversion — the only place the hot path ever builds a header map.
+func (s *Schema) materialize(inert netkat.Packet, vals []int32, pres uint64) netkat.Packet {
+	out := make(netkat.Packet, len(inert)+bits.OnesCount64(pres))
+	for f, v := range inert {
+		if _, ok := s.index[f]; !ok {
+			out[f] = v
+		}
+	}
+	for p := pres; p != 0; p &= p - 1 {
+		i := bits.TrailingZeros64(p)
+		out[s.fields[i]] = int(vals[i])
+	}
+	return out
+}

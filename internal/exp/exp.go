@@ -516,13 +516,22 @@ func TableCompileScale() *Table {
 // version-guarded) tables, once through the compiled indexed matchers of
 // internal/dataplane and once through the priority-ordered linear scan,
 // and the packets/sec of both are reported with the speedup. probes sets
-// the timed stream length (the stream repeats as needed). One row per
-// application; with -json this is the NDJSON throughput trajectory
-// tracked across PRs (docs/BENCHMARKS.md).
+// the timed stream length (the stream repeats as needed).
+//
+// Two further columns capture *engine* overhead rather than raw matcher
+// cost: a seeded injection workload is run to quiescence on a
+// single-worker dataplane.Engine (flat interned packets, event
+// detection, digest gossip, the deterministic merge) and the end-to-end
+// switch-hop cost is reported as ns_hop_engine with its allocation rate
+// as allocs_hop_engine (heap allocations per hop, including the
+// ingress-boundary interning — the steady-state hop loop itself is
+// allocation-free, see BenchmarkEngineHopLoop). One row per application;
+// with -json this is the NDJSON throughput trajectory tracked across
+// PRs (docs/BENCHMARKS.md).
 func Throughput(probes int) *Table {
 	t := &Table{
-		Title:   "Dataplane throughput: compiled indexed matchers vs linear scan (merged tables)",
-		Columns: []string{"app", "rules", "pps_scan", "pps_indexed", "speedup"},
+		Title:   "Dataplane throughput: compiled indexed matchers vs linear scan (merged tables), plus engine hop cost",
+		Columns: []string{"app", "rules", "pps_scan", "pps_indexed", "speedup", "ns_hop_engine", "allocs_hop_engine"},
 	}
 	cases := apps.All()
 	cases = append(cases, apps.BandwidthCap(40), apps.BandwidthCap(200), apps.IDSFatTree(4))
@@ -563,10 +572,47 @@ func Throughput(probes int) *Table {
 		}
 		ppsScan := measure(scan)
 		ppsIdx := measure(indexed)
+
+		// Engine leg: inject a seeded workload round by round and run to
+		// quiescence; ns and heap allocations per switch-hop, measured
+		// over the whole run (ingress and egress boundaries included —
+		// that is the engine overhead this column exists to track).
+		eng := dataplane.NewEngine(n, a.Topo, dataplane.Options{Workers: 1})
+		elg := dataplane.NewLoadGen(n, a.Topo, 17)
+		batch := elg.Injections(256)
+		runBatch := func() {
+			for _, in := range batch {
+				if err := eng.Inject(in.Host, in.Fields); err != nil {
+					panic(err)
+				}
+			}
+			if err := eng.Run(); err != nil {
+				panic(err)
+			}
+		}
+		runBatch() // warm rings, plans, buffers
+		rounds := probes / (len(batch) * 16)
+		if rounds < 2 {
+			rounds = 2
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		h0 := eng.Processed()
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			runBatch()
+		}
+		elapsed := time.Since(start)
+		hops := eng.Processed() - h0
+		runtime.ReadMemStats(&m1)
+		nsHop := float64(elapsed.Nanoseconds()) / float64(hops)
+		allocsHop := float64(m1.Mallocs-m0.Mallocs) / float64(hops)
+
 		t.Rows = append(t.Rows, []string{
 			a.Name, fmt.Sprint(rules),
 			fmt.Sprintf("%.0f", ppsScan), fmt.Sprintf("%.0f", ppsIdx),
 			fmt.Sprintf("%.1f", ppsIdx/ppsScan),
+			fmt.Sprintf("%.1f", nsHop), fmt.Sprintf("%.2f", allocsHop),
 		})
 	}
 	return t

@@ -3,6 +3,7 @@ package nes
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"eventnet/internal/flowtable"
 	"eventnet/internal/netkat"
@@ -62,6 +63,7 @@ type NES struct {
 
 	family     map[Set]int // event-set -> config index (the function g)
 	familyList []Set       // sorted for deterministic iteration
+	armed      sync.Map    // Set -> Set: ArmedFrom memo (see ArmedFrom)
 }
 
 // New builds an NES from the event universe, the family of event-sets
@@ -126,19 +128,44 @@ func (n *NES) ConfigAt(x Set) (int, bool) {
 	return c, ok
 }
 
-// NewlyEnabled returns the events e ∉ known that the located packet
-// matches and that are enabled and consistent from `known`: the set E' of
-// the SWITCH rule in Figure 7.
-func (n *NES) NewlyEnabled(known Set, lp netkat.LocatedPacket) Set {
+// ArmedFrom returns the events e ∉ known with known ⊢ e and
+// con(known ∪ {e}) — the events "armed" to fire from one knowledge set,
+// independent of any packet. Detection (NewlyEnabled, and the dataplane
+// engine's flat hop loop) intersects this with the events a packet's
+// arrival matches; factoring the family walks out lets them be memoized
+// per knowledge set, so the per-packet cost of detection is a bitset
+// probe instead of an Enables/Con enumeration per candidate event. The
+// memo is append-only and safe for concurrent use; a program's reachable
+// knowledge sets are bounded by its family, so it stays small.
+func (n *NES) ArmedFrom(known Set) Set {
+	if a, ok := n.armed.Load(known); ok {
+		return a.(Set)
+	}
 	out := Empty
 	for _, ev := range n.Events {
-		if known.Has(ev.ID) || out.Has(ev.ID) {
-			continue
-		}
-		if !ev.Matches(lp) {
+		if known.Has(ev.ID) {
 			continue
 		}
 		if n.Enables(known, ev.ID) && n.Con(known.With(ev.ID)) {
+			out = out.With(ev.ID)
+		}
+	}
+	a, _ := n.armed.LoadOrStore(known, out)
+	return a.(Set)
+}
+
+// NewlyEnabled returns the events e ∉ known that the located packet
+// matches and that are enabled and consistent from `known`: the set E' of
+// the SWITCH rule in Figure 7. (Membership is decided per event against
+// `known` alone, so filtering through ArmedFrom is exact.)
+func (n *NES) NewlyEnabled(known Set, lp netkat.LocatedPacket) Set {
+	armed := n.ArmedFrom(known)
+	if armed == Empty {
+		return Empty
+	}
+	out := Empty
+	for _, ev := range n.Events {
+		if armed.Has(ev.ID) && ev.Matches(lp) {
 			out = out.With(ev.ID)
 		}
 	}

@@ -277,3 +277,32 @@ func TestNewValidation(t *testing.T) {
 		t.Error("too many events accepted")
 	}
 }
+
+// TestUnionUnchangedReturnsReceiver pins the digest-gossip fast path:
+// when one operand contains the other, Union returns that operand itself
+// — same backing bytes, no allocation — because the engine's hop loop
+// unions every packet's digest with views that have usually already
+// absorbed it, and a rebuild there would put an allocation on every hop.
+func TestUnionUnchangedReturnsReceiver(t *testing.T) {
+	big := FromMask(0b10110111)
+	small := FromMask(0b00000101)
+	if got := big.Union(small); got != big {
+		t.Fatalf("Union(big, small) = %v, want big %v", got, big)
+	}
+	if got := small.Union(big); got != big {
+		t.Fatalf("Union(small, big) = %v, want big %v", got, big)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		_ = big.Union(small)
+		_ = small.Union(big)
+		_ = big.Union(big)
+		_ = big.Union(Empty)
+		_ = Empty.Union(big)
+	}); got != 0 {
+		t.Fatalf("no-change Union allocates %.3f times per run; want 0", got)
+	}
+	// A genuinely growing union must still build the right set.
+	if got, want := big.Union(FromMask(0b01000000)), FromMask(0b11110111); got != want {
+		t.Fatalf("growing Union = %v, want %v", got, want)
+	}
+}

@@ -84,7 +84,11 @@ func (s Set) Without(e int) Set {
 	return Set(trim(b))
 }
 
-// Union returns s ∪ t.
+// Union returns s ∪ t. When one operand contains the other the result is
+// that operand itself (pointer-equal, no copy): digest gossip on the
+// engine's hop loop unions a packet's digest with switch views that have
+// long since absorbed it, and rebuilding the canonical string there would
+// put an allocation on every hop.
 func (s Set) Union(t Set) Set {
 	if len(s) == 0 {
 		return t
@@ -95,16 +99,18 @@ func (s Set) Union(t Set) Set {
 	if len(t) > len(s) {
 		s, t = t, s
 	}
-	b := []byte(s)
-	changed := false
-	for i := 0; i < len(t); i++ {
-		if t[i]&^b[i] != 0 {
-			changed = true
-			b[i] |= t[i]
+	i := 0
+	for ; i < len(t); i++ {
+		if t[i]&^s[i] != 0 {
+			break
 		}
 	}
-	if !changed {
-		return s
+	if i == len(t) {
+		return s // t ⊆ s: no change, no copy
+	}
+	b := []byte(s)
+	for ; i < len(t); i++ {
+		b[i] |= t[i]
 	}
 	return Set(b)
 }
