@@ -13,6 +13,7 @@
 //	experiments -json -only scale
 //	experiments -json -only throughput
 //	experiments -json -only swap
+//	experiments -json -only chaos   # chaos audit; exit 1 on any violation
 package main
 
 import (
@@ -74,7 +75,7 @@ func emit(name string, v any) {
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
-	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables, scale, throughput, swap")
+	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables, scale, throughput, swap, chaos")
 	flag.BoolVar(&asJSON, "json", false, "emit one JSON object per experiment instead of text")
 	flag.Parse()
 
@@ -109,6 +110,26 @@ func main() {
 		emit("swap", res.Table)
 		if res.Mixed != 0 || res.Dropped != 0 {
 			fmt.Fprintf(os.Stderr, "experiments: swap audit FAILED: %d mixed, %d dropped\n", res.Mixed, res.Dropped)
+			os.Exit(1)
+		}
+	}
+	if sel("chaos") {
+		rounds, seeds := 800, []int64{1, 2}
+		if *quick {
+			rounds, seeds = 200, []int64{1}
+		}
+		res, err := exp.Chaos(rounds, seeds, 2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		emit("chaos", res.Table)
+		if res.Violations != 0 {
+			fmt.Fprintf(os.Stderr, "experiments: chaos audit FAILED: %d violations over %d audited deliveries\n",
+				res.Violations, res.Audited)
+			for _, r := range res.Reproducers {
+				fmt.Fprintf(os.Stderr, "reproducer: %s\n", r)
+			}
 			os.Exit(1)
 		}
 	}

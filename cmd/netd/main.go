@@ -68,6 +68,7 @@ type programRequest struct {
 	App      string `json:"app"`
 	Cap      int    `json:"cap"`
 	Diameter int    `json:"diameter"`
+	Cycles   int    `json:"cycles"` // fail/recover cycles for the failover apps
 	Source   string `json:"source"`
 	Init     []int  `json:"init"`
 }
@@ -123,8 +124,21 @@ func appByName(req programRequest) (apps.App, error) {
 		return apps.Ring(d), nil
 	case "ids-fattree":
 		return apps.IDSFatTree(4), nil
+	case "failover-diamond":
+		return apps.FailoverDiamond(cyclesOrDefault(req)).App, nil
+	case "failover-wan":
+		return apps.FailoverWAN(cyclesOrDefault(req)).App, nil
+	case "failover-fattree":
+		return apps.FailoverFatTree(4, cyclesOrDefault(req)).App, nil
 	}
 	return apps.App{}, fmt.Errorf("unknown app %q", req.App)
+}
+
+func cyclesOrDefault(req programRequest) int {
+	if req.Cycles > 0 {
+		return req.Cycles
+	}
+	return 4
 }
 
 // topoKey fingerprints a topology for compatibility checks: programs can
@@ -308,7 +322,7 @@ func newServer(c *ctrl.Controller) (*server, http.Handler) {
 }
 
 func main() {
-	appName := flag.String("app", "firewall", "initial application (firewall, learning-switch, authentication, bandwidth-cap, ids, walled-garden, distributed-firewall, ring, ids-fattree)")
+	appName := flag.String("app", "firewall", "initial application (firewall, learning-switch, authentication, bandwidth-cap, ids, walled-garden, distributed-firewall, ring, ids-fattree, failover-diamond, failover-wan, failover-fattree)")
 	capN := flag.Int("cap", 10, "bandwidth cap n (for -app bandwidth-cap)")
 	diameter := flag.Int("diameter", 3, "ring diameter (for -app ring)")
 	addr := flag.String("addr", ":8080", "listen address")

@@ -1,0 +1,216 @@
+// Package chaos is the standing differential audit of the whole stack: a
+// seeded, deterministic harness that interleaves link-failure and
+// -recovery events, bursty and heavy-tailed traffic, event storms and
+// live program hot-swaps against a dataplane.Engine, and checks every
+// single delivery against the reference semantics — netkat.Eval of the
+// exact program generation and configuration the packet's stamp pins it
+// to. Any divergence (a delivery Eval does not predict, or an
+// Eval-predicted delivery that never arrives) is a violation, and the
+// harness minimizes the schedule to the shortest violating prefix and
+// prints a reproducer (scenario, seed, prefix) that replays it exactly.
+//
+// Failures are modeled as first-class program events, not as engine
+// mutations: a monitor host injects a notification packet carrying the
+// reserved linkdown/linkup header (see internal/stateful/failure.go), the
+// failover program routes it through a state-updating link, and the
+// network flips to its backup paths with exactly the per-packet
+// consistency guarantees of any other event. The engine is untouched, so
+// the audit invariant stays total: nothing is ever legitimately dropped.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/dataplane"
+	"eventnet/internal/netkat"
+	"eventnet/internal/topo"
+)
+
+// OpKind is one kind of schedule operation.
+type OpKind int
+
+const (
+	// OpBurst injects a traffic batch (sized by the scenario's arrival
+	// distribution) and runs it to completion.
+	OpBurst OpKind = iota
+	// OpFail injects one link-failure notification from the monitor.
+	OpFail
+	// OpRecover injects one link-recovery notification.
+	OpRecover
+	// OpStorm injects an event-dense batch: notification spam on failover
+	// scenarios, capped-destination floods on threshold scenarios.
+	OpStorm
+	// OpSwap injects a batch, advances the engine one generation so the
+	// batch is mid-journey, then hot-swaps to the next program in the
+	// scenario's rotation (event knowledge carried via ctrl.EventMapping)
+	// and drains — the packets in flight finish under their old stamps.
+	OpSwap
+	// OpStep injects a small batch and advances the engine N generations
+	// before draining, shifting every later op's barrier alignment.
+	OpStep
+)
+
+var opNames = map[OpKind]string{
+	OpBurst: "burst", OpFail: "fail", OpRecover: "recover",
+	OpStorm: "storm", OpSwap: "swap", OpStep: "step",
+}
+
+// String renders the op kind.
+func (k OpKind) String() string {
+	if n, ok := opNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one schedule operation.
+type Op struct {
+	Kind OpKind `json:"kind"`
+	N    int    `json:"n,omitempty"` // generations for OpStep, ignored otherwise
+}
+
+// Schedule is a fully reproducible chaos run: the scenario fixes the
+// programs, topology and traffic shape; the seed fixes every random draw;
+// the op list fixes the interleaving. Equal schedules produce equal
+// delivery sequences at any worker count.
+type Schedule struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Ops      []Op   `json:"ops"`
+}
+
+// Reproducer renders the schedule as the one-line JSON form the harness
+// prints on violation; see docs/CHAOS.md for how to replay it.
+func (s Schedule) Reproducer() string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// ParseReproducer parses a Reproducer line back into a Schedule.
+func ParseReproducer(line string) (Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal([]byte(line), &s); err != nil {
+		return Schedule{}, fmt.Errorf("chaos: bad reproducer: %w", err)
+	}
+	return s, nil
+}
+
+// scenario fixes everything about a chaos family except the seed and the
+// op interleaving.
+type scenario struct {
+	name  string
+	progs []apps.App // swap rotation; progs[0] is initial
+	tp    *topo.Topology
+	dist  dataplane.ArrivalDist
+	mean  int // target injections per burst
+
+	// Failure-notification surface; empty for non-failover scenarios.
+	monitor    string
+	failPkt    netkat.Packet
+	recoverPkt netkat.Packet
+
+	// Routable data pair: when set, most burst draws are steered onto it
+	// (LoadGen samples all host pairs uniformly, which on a sparse
+	// failover program is mostly unroutable noise — noise is kept, but as
+	// the minority share).
+	srcHost, dstHost string
+
+	// storm builds one event-dense injection for storm round i.
+	storm func(i int) (host string, fields netkat.Packet)
+}
+
+// Scenarios returns the names of the built-in scenario families:
+//
+//   - failover-diamond: failure-only chaos on the minimal primary/backup
+//     topology (FailoverDiamond) under bursty arrivals.
+//   - storm-swap: event storms and mid-flight hot-swaps between
+//     bandwidth-cap-40 and bandwidth-cap-80 under heavy-tailed arrivals —
+//     the swap direction with no-image events exercises knowledge loss.
+//   - wan-failover: failures, recoveries and hot-swaps between
+//     FailoverWAN programs with different cycle horizons (their event
+//     mapping has genuine no-image entries) on the ECMP WAN graph.
+//   - fattree-failover: failure-only chaos on a k=4 fat-tree fabric
+//     under heavy-tailed arrivals.
+func Scenarios() []string {
+	return []string{"failover-diamond", "storm-swap", "wan-failover", "fattree-failover"}
+}
+
+func buildScenario(name string) (*scenario, error) {
+	failover := func(fs []apps.Failover, dist dataplane.ArrivalDist, mean int) *scenario {
+		f := fs[0]
+		var rot []apps.App
+		for _, x := range fs {
+			rot = append(rot, x.App)
+		}
+		return &scenario{
+			name: name, progs: rot, tp: f.Topo, dist: dist, mean: mean,
+			monitor: f.Monitor, failPkt: f.FailPkt, recoverPkt: f.RecoverPkt,
+			srcHost: f.Src, dstHost: f.Dst,
+			storm: func(i int) (string, netkat.Packet) {
+				if i%2 == 0 {
+					return f.Monitor, f.FailPkt.Clone()
+				}
+				return f.Monitor, f.RecoverPkt.Clone()
+			},
+		}
+	}
+	switch name {
+	case "failover-diamond":
+		return failover([]apps.Failover{apps.FailoverDiamond(8)}, dataplane.ArrivalBursty, 24), nil
+	case "wan-failover":
+		// Different cycle horizons: swapping 6 -> 2 drops the tail
+		// fail/recover events (no image under ctrl.EventMapping).
+		return failover([]apps.Failover{apps.FailoverWAN(6), apps.FailoverWAN(2)}, dataplane.ArrivalBursty, 24), nil
+	case "fattree-failover":
+		return failover([]apps.Failover{apps.FailoverFatTree(4, 4)}, dataplane.ArrivalHeavyTail, 16), nil
+	case "storm-swap":
+		a40, a80 := apps.BandwidthCap(40), apps.BandwidthCap(80)
+		return &scenario{
+			name: name, progs: []apps.App{a40, a80}, tp: a40.Topo,
+			dist: dataplane.ArrivalHeavyTail, mean: 32,
+			storm: func(i int) (string, netkat.Packet) {
+				// Flood the capped direction so threshold events fire in
+				// dense succession.
+				return "H1", netkat.Packet{"dst": topo.HostID(4), "src": topo.HostID(1)}
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Scenarios())
+}
+
+// NewSchedule draws a seeded op interleaving for a scenario: `rounds` ops
+// with scenario-appropriate weights. Equal (scenario, seed, rounds) yield
+// equal schedules.
+func NewSchedule(scenarioName string, seed int64, rounds int) (Schedule, error) {
+	sc, err := buildScenario(scenarioName)
+	if err != nil {
+		return Schedule{}, err
+	}
+	// The schedule rng is independent of the traffic rng (the runner
+	// derives that from the same seed through a different stream).
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	hasNotif := sc.monitor != ""
+	multi := len(sc.progs) > 1
+	ops := make([]Op, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		r := rng.Intn(100)
+		switch {
+		case hasNotif && r < 14:
+			ops = append(ops, Op{Kind: OpFail})
+		case hasNotif && r < 28:
+			ops = append(ops, Op{Kind: OpRecover})
+		case r < 38:
+			ops = append(ops, Op{Kind: OpStorm})
+		case multi && r < 50:
+			ops = append(ops, Op{Kind: OpSwap})
+		case r < 58:
+			ops = append(ops, Op{Kind: OpStep, N: 1 + rng.Intn(3)})
+		default:
+			ops = append(ops, Op{Kind: OpBurst})
+		}
+	}
+	return Schedule{Scenario: scenarioName, Seed: seed, Ops: ops}, nil
+}

@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"fmt"
+
+	"eventnet/internal/dataplane"
+)
+
+// Shrink returns the length of the shortest prefix of ops for which
+// `violates` holds, or -1 if even the full schedule is clean. It assumes
+// violations are monotone in the prefix — true for the chaos audit,
+// which is cumulative: once a violating delivery exists, appending ops
+// cannot erase it — so a binary search over prefix lengths suffices
+// (O(log n) replays instead of O(n)).
+func Shrink(ops []Op, violates func([]Op) bool) int {
+	if len(ops) == 0 || !violates(ops) {
+		return -1
+	}
+	lo, hi := 1, len(ops)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if violates(ops[:mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Audit runs a schedule and, if the run violates the delivery invariant,
+// minimizes it: the returned Schedule (nil when the run is clean) is the
+// shortest violating prefix, ready to print via Reproducer and replay
+// via Run.
+func Audit(s Schedule, o Options) (*Result, *Schedule, error) {
+	res, err := Run(s, o)
+	if err != nil || res.Violations() == 0 {
+		return res, nil, err
+	}
+	var probeErr error
+	n := Shrink(s.Ops, func(ops []Op) bool {
+		r, err := Run(Schedule{Scenario: s.Scenario, Seed: s.Seed, Ops: ops}, o)
+		if err != nil {
+			probeErr = err
+			return false
+		}
+		return r.Violations() > 0
+	})
+	if probeErr != nil {
+		return res, nil, fmt.Errorf("chaos: shrink replay: %w", probeErr)
+	}
+	min := Schedule{Scenario: s.Scenario, Seed: s.Seed, Ops: s.Ops[:n]}
+	return res, &min, nil
+}
+
+// CheckDeterminism replays a schedule at every given worker count on
+// both matcher planes and verifies the delivery sequence — hosts, header
+// fields, stamps, order — is bit-identical throughout.
+func CheckDeterminism(s Schedule, workerCounts []int) error {
+	var ref *Result
+	var refDesc string
+	for _, m := range []dataplane.Mode{dataplane.ModeIndexed, dataplane.ModeScan} {
+		for _, w := range workerCounts {
+			r, err := Run(s, Options{Workers: w, Mode: m})
+			if err != nil {
+				return err
+			}
+			desc := fmt.Sprintf("workers=%d mode=%v", w, m)
+			if ref == nil {
+				ref, refDesc = r, desc
+				continue
+			}
+			if r.Hash != ref.Hash || r.Audited != ref.Audited {
+				return fmt.Errorf("chaos: %s seed %d nondeterministic: %s got %d deliveries hash %x, %s got %d hash %x",
+					s.Scenario, s.Seed, refDesc, ref.Audited, ref.Hash, desc, r.Audited, r.Hash)
+			}
+		}
+	}
+	return nil
+}

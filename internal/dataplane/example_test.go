@@ -50,7 +50,7 @@ func Example() {
 	fmt.Printf("delivered: H1=%d H4=%d\n", len(eng.DeliveredTo("H1")), len(eng.DeliveredTo("H4")))
 	fmt.Printf("throughput measured: %v\n", pps > 0)
 	// Output:
-	// injected 100 packets over 137 switch-hops
-	// delivered: H1=11 H4=26
+	// injected 100 packets over 133 switch-hops
+	// delivered: H1=16 H4=17
 	// throughput measured: true
 }

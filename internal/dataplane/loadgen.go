@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 
@@ -32,16 +33,48 @@ type Probe struct {
 // default-drop path.
 type LoadGen struct {
 	rng     *rand.Rand
+	seed    int64 // caller's seed, pre-mix (Derive starts from it)
 	hosts   []topo.Host
 	swPorts map[int][]int // switch -> plausible ingress ports
 	sws     []int
 	configs int
 }
 
+// seedMix is the splitmix64 finalizer: a bijective avalanche over uint64.
+// Both the generator seed and every derived stream pass through it, so
+// the raw seed's bit pattern never reaches math/rand directly and no
+// arithmetic relation between two seeds survives into the streams.
+func seedMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// streamSeed is the documented seed-derivation rule:
+//
+//	stream(seed, k) = mix(mix(seed) ^ mix(k+1))
+//
+// where mix is the splitmix64 finalizer. Because mix avalanches each
+// argument independently before they combine, linear seed schedules
+// cannot alias: stream(s, k) and stream(s+d, k-d) share no structure, so
+// per-switch or per-worker generators derived from consecutive stream
+// indices never collide with a neighboring base seed. (The +1 keeps
+// stream 0 distinct from the base generator itself.)
+func streamSeed(seed, stream int64) int64 {
+	return int64(seedMix(seedMix(uint64(seed)) ^ seedMix(uint64(stream)+1)))
+}
+
 // NewLoadGen builds a generator for the NES over its topology. Equal
-// seeds yield equal streams.
+// seeds yield equal streams; the seed is finalizer-mixed before use (see
+// streamSeed), so numerically adjacent seeds produce unrelated traffic.
 func NewLoadGen(n *nes.NES, t *topo.Topology, seed int64) *LoadGen {
-	g := &LoadGen{rng: rand.New(rand.NewSource(seed)), swPorts: map[int][]int{}, configs: len(n.Configs)}
+	g := &LoadGen{
+		rng:     rand.New(rand.NewSource(int64(seedMix(uint64(seed))))),
+		seed:    seed,
+		swPorts: map[int][]int{},
+		configs: len(n.Configs),
+	}
 	g.hosts = append(g.hosts, t.Hosts...)
 	sort.Slice(g.hosts, func(i, j int) bool { return g.hosts[i].Name < g.hosts[j].Name })
 	seen := map[netkat.Location]bool{}
@@ -67,6 +100,17 @@ func NewLoadGen(n *nes.NES, t *topo.Topology, seed int64) *LoadGen {
 	return g
 }
 
+// Derive returns an independent generator for a numbered substream
+// (per-switch, per-worker, per-scenario): the same topology tables, a
+// fresh rng seeded by streamSeed(seed, stream). Unlike ad-hoc seed+k
+// offsets, derived streams cannot alias across base seeds.
+func (g *LoadGen) Derive(stream int64) *LoadGen {
+	d := *g
+	d.seed = streamSeed(g.seed, stream)
+	d.rng = rand.New(rand.NewSource(int64(seedMix(uint64(d.seed)))))
+	return &d
+}
+
 // Injections returns k host emissions with random (src, dst) host pairs,
 // carrying the workload's src/dst convention so application rules match.
 func (g *LoadGen) Injections(k int) []Injection {
@@ -78,6 +122,71 @@ func (g *LoadGen) Injections(k int) []Injection {
 			Host:   src.Name,
 			Fields: netkat.Packet{"dst": dst.ID, "src": src.ID, "id": i},
 		})
+	}
+	return out
+}
+
+// ArrivalDist selects the shape of a batch-size (arrival) process.
+type ArrivalDist int
+
+const (
+	// ArrivalUniform draws batch sizes uniformly around the mean.
+	ArrivalUniform ArrivalDist = iota
+	// ArrivalBursty is an on/off process: mostly near-idle rounds with
+	// occasional bursts several times the mean.
+	ArrivalBursty
+	// ArrivalHeavyTail draws from a discrete power law: most rounds are
+	// tiny, rare rounds are tens of times the mean.
+	ArrivalHeavyTail
+)
+
+// String renders the distribution name.
+func (d ArrivalDist) String() string {
+	switch d {
+	case ArrivalBursty:
+		return "bursty"
+	case ArrivalHeavyTail:
+		return "heavy-tail"
+	}
+	return "uniform"
+}
+
+// BatchSizes draws `rounds` per-generation injection counts from the
+// distribution, each at least 1, targeting roughly `mean` per round.
+// The draw consumes the generator's stream, so it is deterministic per
+// seed and interleaves reproducibly with Injections/Probes calls.
+func (g *LoadGen) BatchSizes(rounds int, dist ArrivalDist, mean int) []int {
+	if mean < 1 {
+		mean = 1
+	}
+	out := make([]int, rounds)
+	for i := range out {
+		switch dist {
+		case ArrivalBursty:
+			// One round in four is a burst of ~3-4x the mean; the rest
+			// idle along at a fraction of it.
+			if g.rng.Intn(4) == 0 {
+				out[i] = 3*mean + g.rng.Intn(mean+1)
+			} else {
+				out[i] = 1 + g.rng.Intn((mean+3)/4)
+			}
+		case ArrivalHeavyTail:
+			// Inverse-power sampling, exponent ~1.3, capped at 50x mean.
+			u := g.rng.Float64()
+			if u < 1e-4 {
+				u = 1e-4
+			}
+			s := int(0.4 * float64(mean) / math.Pow(u, 1.3))
+			if s < 1 {
+				s = 1
+			}
+			if limit := 50 * mean; s > limit {
+				s = limit
+			}
+			out[i] = s
+		default:
+			out[i] = 1 + g.rng.Intn(2*mean-1)
+		}
 	}
 	return out
 }

@@ -1,0 +1,70 @@
+package nes
+
+import "eventnet/internal/netkat"
+
+// EventKind classifies an event by what its guard observes.
+type EventKind int
+
+const (
+	// KindPacket is an ordinary data-driven event.
+	KindPacket EventKind = iota
+	// KindLinkFail is the arrival of a link-failure notification: the
+	// guard requires the reserved netkat.FieldLinkDown field.
+	KindLinkFail
+	// KindLinkRecover is the arrival of a link-recovery notification.
+	KindLinkRecover
+)
+
+// String renders the kind.
+func (k EventKind) String() string {
+	switch k {
+	case KindLinkFail:
+		return "link-fail"
+	case KindLinkRecover:
+		return "link-recover"
+	}
+	return "packet"
+}
+
+// Kind classifies the event by inspecting its guard for the reserved
+// failure-notification fields. A guard requiring both linkdown and linkup
+// cannot arise from a well-formed notification; linkdown wins.
+func (e Event) Kind() EventKind {
+	if _, ok := e.Guard.Eq(netkat.FieldLinkDown); ok {
+		return KindLinkFail
+	}
+	if _, ok := e.Guard.Eq(netkat.FieldLinkUp); ok {
+		return KindLinkRecover
+	}
+	return KindPacket
+}
+
+// FailedLink returns the directed link a failure or recovery event is
+// about, decoded from the notification field its guard requires. The
+// third result is false for ordinary packet events.
+func (e Event) FailedLink() (src, dst netkat.Location, ok bool) {
+	field := ""
+	switch e.Kind() {
+	case KindLinkFail:
+		field = netkat.FieldLinkDown
+	case KindLinkRecover:
+		field = netkat.FieldLinkUp
+	default:
+		return netkat.Location{}, netkat.Location{}, false
+	}
+	id, _ := e.Guard.Eq(field)
+	src, dst = netkat.LinkOfID(id)
+	return src, dst, true
+}
+
+// FailureEvents returns the IDs of the NES's link-failure and -recovery
+// events, in ascending order.
+func (n *NES) FailureEvents() []int {
+	var out []int
+	for _, ev := range n.Events {
+		if ev.Kind() != KindPacket {
+			out = append(out, ev.ID)
+		}
+	}
+	return out
+}

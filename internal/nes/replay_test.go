@@ -47,3 +47,38 @@ func TestAdmit(t *testing.T) {
 		t.Fatalf("conflict replay: got %v", got)
 	}
 }
+
+// TestAdmitDuplicate: re-admitting knowledge the view already holds is a
+// no-op. Duplicate event notifications are routine under gossip (the
+// same digest arrives on every packet of a flow) and under event storms,
+// so admission must be idempotent — a view can only ever grow by genuine
+// news.
+func TestAdmitDuplicate(t *testing.T) {
+	n := chainNES(t, 3)
+	for _, mask := range []uint64{0b000, 0b001, 0b011, 0b111} {
+		v := FromMask(mask)
+		if got := n.Admit(v, v); got != v {
+			t.Fatalf("Admit(%v, %v) = %v, want the view unchanged", v, v, got)
+		}
+	}
+	// Duplicating a strict subset of the view is equally inert.
+	if got := n.Admit(FromMask(0b111), FromMask(0b001)); got != FromMask(0b111) {
+		t.Fatalf("subset re-admission changed the view: %v", got)
+	}
+	// Replay is a fixpoint of itself: replaying what a replay admitted
+	// admits exactly the same set, even when the original candidates were
+	// partly stranded.
+	for _, mask := range []uint64{0b000, 0b101, 0b110, 0b111} {
+		once := n.Replay(FromMask(mask))
+		if twice := n.Replay(once); twice != once {
+			t.Fatalf("Replay not idempotent on %v: %v then %v", FromMask(mask), once, twice)
+		}
+	}
+	// Idempotence holds around conflicts too: a settled view absorbs its
+	// own duplicate without re-litigating the refused branch.
+	c := conflictNES(t, 1, 2)
+	v := c.Replay(FromMask(0b11))
+	if got := c.Admit(v, v); got != v {
+		t.Fatalf("conflict view not stable under duplication: %v vs %v", got, v)
+	}
+}

@@ -133,3 +133,45 @@ const (
 	FieldSw = "sw"
 	FieldPt = "pt"
 )
+
+// FieldLinkDown and FieldLinkUp are the reserved header fields of
+// link-failure and link-recovery notifications: a packet carrying
+// linkdown = LinkID(src, dst) announces that the physical link (src, dst)
+// has failed, and linkup announces its recovery. Failure and recovery are
+// thereby ordinary events in the paper's sense — the arrival of a packet
+// satisfying a guard over these fields at a deciding switch — so the
+// whole event-structure machinery (consistency, enabling, occurrence
+// renaming, replay across program swaps) covers failover for free.
+const (
+	FieldLinkDown = "linkdown"
+	FieldLinkUp   = "linkup"
+)
+
+// linkIDRadix bounds each location component of a LinkID encoding. Base
+// 128 keeps the largest encodable ID (~2.7e8) inside the int32 header
+// value domain the flat dataplane interns.
+const linkIDRadix = 128
+
+// LinkID encodes a directed physical link as a single header value for
+// the linkdown/linkup notification fields. Each of the four location
+// components must be below 128; the encoding is injective, so distinct
+// links never alias.
+func LinkID(src, dst Location) int {
+	for _, v := range [4]int{src.Switch, src.Port, dst.Switch, dst.Port} {
+		if v < 0 || v >= linkIDRadix {
+			panic(fmt.Sprintf("netkat: link component %d outside [0,%d) is not LinkID-encodable", v, linkIDRadix))
+		}
+	}
+	return ((src.Switch*linkIDRadix+src.Port)*linkIDRadix+dst.Switch)*linkIDRadix + dst.Port
+}
+
+// LinkOfID decodes a LinkID back to its directed link endpoints.
+func LinkOfID(id int) (src, dst Location) {
+	dst.Port = id % linkIDRadix
+	id /= linkIDRadix
+	dst.Switch = id % linkIDRadix
+	id /= linkIDRadix
+	src.Port = id % linkIDRadix
+	src.Switch = id / linkIDRadix
+	return src, dst
+}

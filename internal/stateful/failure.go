@@ -1,0 +1,26 @@
+package stateful
+
+import "eventnet/internal/netkat"
+
+// First-class link-failure and -recovery events. A failure is modeled the
+// way everything else in this system is modeled: as the arrival of a
+// packet. A monitor injects a notification carrying the reserved
+// netkat.FieldLinkDown (or FieldLinkUp) header set to the failed link's
+// LinkID; the program routes the notification through a state-updating
+// link whose Dst is the deciding switch, so the event-extraction of
+// Figure 6 yields an event guarded by the notification fields and located
+// where the failure is observed. Everything downstream — NES consistency,
+// occurrence renaming of repeated fail/recover cycles, knowledge replay
+// across live program swaps — then applies to failures unchanged.
+
+// LinkDownTest is the predicate linkdown = LinkID(src, dst): the guard of
+// a failure notification for the directed link (src, dst).
+func LinkDownTest(src, dst netkat.Location) Pred {
+	return PTest{Field: netkat.FieldLinkDown, Value: netkat.LinkID(src, dst)}
+}
+
+// LinkUpTest is the predicate linkup = LinkID(src, dst): the guard of a
+// recovery notification for the directed link (src, dst).
+func LinkUpTest(src, dst netkat.Location) Pred {
+	return PTest{Field: netkat.FieldLinkUp, Value: netkat.LinkID(src, dst)}
+}

@@ -60,31 +60,41 @@ func Star() *Topology {
 	return t
 }
 
+// wideFatTreeSwitchBase offsets the switch IDs of fat-trees too wide for
+// the 1..hostIDBase switch range (k > 8): their switches are numbered
+// from this base upward, clear of every host ID any fabric can produce
+// (k=16 uses hosts 101..1124), while the k <= 8 trees keep the historical
+// compact numbering.
+const wideFatTreeSwitchBase = 10000
+
 // FatTree builds a k-ary fat-tree (Al-Fahres/leaf-spine style data-center
 // fabric): (k/2)^2 core switches, k pods of k/2 aggregation and k/2 edge
 // switches, and k/2 hosts per edge switch (k^3/4 hosts total, named
 // H1..Hn in pod order). Port conventions: on an edge switch, ports
 // 1..k/2 face hosts and k/2+1..k face aggregation; on an aggregation
 // switch, ports 1..k/2 face edges and k/2+1..k face cores; on a core
-// switch, port p+1 faces pod p. k must be even, and small enough that
-// switch IDs stay below the host-ID base (k <= 8).
+// switch, port p+1 faces pod p. k must be even. For k <= 8 switch IDs are
+// the compact 1..(k/2)^2+k^2 range below the host-ID base; wider fabrics
+// (k=16 needs 320 switches) number their switches from
+// wideFatTreeSwitchBase so they cannot collide with host IDs.
 func FatTree(k int) *Topology {
 	if k < 2 || k%2 != 0 {
 		panic(fmt.Sprintf("topo: fat-tree arity %d is not a positive even number", k))
 	}
 	half := k / 2
 	core := half * half
+	base := 0
 	if core+k*k >= hostIDBase {
-		panic(fmt.Sprintf("topo: fat-tree arity %d needs %d switch IDs, colliding with host IDs", k, core+k*k))
+		base = wideFatTreeSwitchBase
 	}
-	// Switch numbering: cores 1..core, then per pod p (0-based) the
-	// aggregation switches core+p*k+1..core+p*k+half followed by the edge
-	// switches core+p*k+half+1..core+(p+1)*k.
-	aggID := func(p, i int) int { return core + p*k + 1 + i }
-	edgeID := func(p, j int) int { return core + p*k + half + 1 + j }
+	// Switch numbering: cores base+1..base+core, then per pod p (0-based)
+	// the aggregation switches base+core+p*k+1..+half followed by the edge
+	// switches base+core+p*k+half+1..base+core+(p+1)*k.
+	aggID := func(p, i int) int { return base + core + p*k + 1 + i }
+	edgeID := func(p, j int) int { return base + core + p*k + half + 1 + j }
 	t := New()
 	for s := 1; s <= core+k*k; s++ {
-		t.AddSwitch(s)
+		t.AddSwitch(base + s)
 	}
 	host := 1
 	for p := 0; p < k; p++ {
@@ -103,7 +113,7 @@ func FatTree(k int) *Topology {
 		// Aggregation <-> core: aggregation i serves cores i*half+1..(i+1)*half.
 		for i := 0; i < half; i++ {
 			for m := 0; m < half; m++ {
-				t.AddBiLink(loc(aggID(p, i), half+1+m), loc(i*half+m+1, p+1))
+				t.AddBiLink(loc(aggID(p, i), half+1+m), loc(base+i*half+m+1, p+1))
 			}
 		}
 	}
@@ -143,6 +153,88 @@ func (t *Topology) ShortestPath(from, to int) ([]Link, bool) {
 		frontier = next
 	}
 	return nil, false
+}
+
+// ShortestPathAvoiding is ShortestPath restricted to links outside
+// `banned` (directed: ban both directions to exclude a bidirectional
+// link). The BFS and tie-breaking are identical to ShortestPath, so the
+// result is deterministic.
+func (t *Topology) ShortestPathAvoiding(from, to int, banned map[Link]bool) ([]Link, bool) {
+	if from == to {
+		return nil, true
+	}
+	prev := map[int]Link{}
+	seen := map[int]bool{from: true}
+	frontier := []int{from}
+	for len(frontier) > 0 {
+		var next []int
+		for _, sw := range frontier {
+			for _, lk := range t.Links {
+				if lk.Src.Switch != sw || seen[lk.Dst.Switch] || banned[lk] {
+					continue
+				}
+				seen[lk.Dst.Switch] = true
+				prev[lk.Dst.Switch] = lk
+				if lk.Dst.Switch == to {
+					var path []Link
+					for at := to; at != from; at = prev[at].Src.Switch {
+						path = append([]Link{prev[at]}, path...)
+					}
+					return path, true
+				}
+				next = append(next, lk.Dst.Switch)
+			}
+		}
+		frontier = next
+	}
+	return nil, false
+}
+
+// Diamond builds the minimal failover topology: H1 behind s1, H2 behind
+// s4, a primary path s1-s2-s4 and a link-disjoint backup path s1-s3-s4,
+// plus a monitor host M on s1 (the failure-notification source).
+//
+//	H1 - s1:3   s1:1 - s2:1, s2:2 - s4:1   (primary)
+//	M  - s1:4   s1:2 - s3:1, s3:2 - s4:2   (backup)
+//	H2 - s4:3
+func Diamond() *Topology {
+	t := New()
+	for _, s := range []int{1, 2, 3, 4} {
+		t.AddSwitch(s)
+	}
+	t.AddBiLink(loc(1, 1), loc(2, 1))
+	t.AddBiLink(loc(2, 2), loc(4, 1))
+	t.AddBiLink(loc(1, 2), loc(3, 1))
+	t.AddBiLink(loc(3, 2), loc(4, 2))
+	t.AddHost(HostID(1), "H1", loc(1, 3))
+	t.AddHost(HostID(2), "H2", loc(4, 3))
+	t.AddHost(HostID(9), "M", loc(1, 4))
+	return t
+}
+
+// WAN builds a wide-area-style six-switch graph with two link-disjoint
+// equal-cost three-hop paths between the H1 site (s1) and the H2 site
+// (s4) — the ECMP shape whose path choice a failover program flips:
+//
+//	primary  s1:1 - s2:1, s2:2 - s3:1, s3:2 - s4:1
+//	backup   s1:2 - s5:1, s5:2 - s6:1, s6:2 - s4:2
+//
+// H1 sits at s1:3, H2 at s4:3, and the monitor M at s1:4.
+func WAN() *Topology {
+	t := New()
+	for s := 1; s <= 6; s++ {
+		t.AddSwitch(s)
+	}
+	t.AddBiLink(loc(1, 1), loc(2, 1))
+	t.AddBiLink(loc(2, 2), loc(3, 1))
+	t.AddBiLink(loc(3, 2), loc(4, 1))
+	t.AddBiLink(loc(1, 2), loc(5, 1))
+	t.AddBiLink(loc(5, 2), loc(6, 1))
+	t.AddBiLink(loc(6, 2), loc(4, 2))
+	t.AddHost(HostID(1), "H1", loc(1, 3))
+	t.AddHost(HostID(2), "H2", loc(4, 3))
+	t.AddHost(HostID(9), "M", loc(1, 4))
+	return t
 }
 
 // Ring builds the synthetic ring of Section 5.2 with the given diameter
