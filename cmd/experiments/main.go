@@ -75,7 +75,7 @@ func emit(name string, v any) {
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
-	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables, scale, throughput, swap, chaos")
+	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables, scale, scale-cores, throughput, swap, chaos")
 	flag.BoolVar(&asJSON, "json", false, "emit one JSON object per experiment instead of text")
 	flag.Parse()
 
@@ -93,6 +93,18 @@ func main() {
 	}
 	if sel("scale") {
 		emit("scale", exp.TableCompileScale())
+	}
+	if sel("scale-cores") {
+		packets := 200000
+		if *quick {
+			packets = 20000
+		}
+		res, err := exp.Scale(packets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: scale-cores:", err)
+			os.Exit(1)
+		}
+		emit("scale-cores", res.Table)
 	}
 	if sel("throughput") {
 		probes := 2000000

@@ -16,6 +16,10 @@
 //	POST /swap      hot-swap to the staged (or inline) program; returns
 //	                the swap report once the old program has drained
 //	POST /inject    {"host":"H1","fields":{"dst":104},"count":3}
+//	POST /inject-batch
+//	                {"packets":[{"host":"H1","fields":{"dst":104}},...]};
+//	                the whole batch is admitted at one engine boundary,
+//	                bad packets rejected per index
 //	POST /quiesce   block until all queued traffic has drained
 //
 // Programs submitted by name reuse the built-in applications; programs
@@ -256,29 +260,85 @@ func (s *server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// expand turns one inject request into its injections: Count copies,
+// id-disambiguated when the expansion would otherwise duplicate headers.
+func (s *server) expand(ins []dataplane.Injection, req injectRequest) []dataplane.Injection {
+	n := req.Count
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		fields := netkat.Packet{}
+		for f, v := range req.Fields {
+			fields[f] = v
+		}
+		if n > 1 {
+			fields["id"] = int(s.nextID.Add(1))
+		}
+		ins = append(ins, dataplane.Injection{Host: req.Host, Fields: fields})
+	}
+	return ins
+}
+
 func (s *server) handleInject(w http.ResponseWriter, r *http.Request) {
 	var req injectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		fail(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	if req.Count <= 0 {
-		req.Count = 1
-	}
-	for i := 0; i < req.Count; i++ {
-		fields := netkat.Packet{}
-		for f, v := range req.Fields {
-			fields[f] = v
-		}
-		if req.Count > 1 {
-			fields["id"] = int(s.nextID.Add(1))
-		}
-		if err := s.c.Inject(req.Host, fields); err != nil {
+	// Count-expansions go through the batched ingress: one admission
+	// boundary for the whole request instead of one per packet.
+	ins := s.expand(nil, req)
+	for _, err := range s.c.InjectBatch(ins) {
+		if err != nil {
 			fail(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"injected": req.Count})
+	writeJSON(w, http.StatusOK, map[string]any{"injected": len(ins)})
+}
+
+// injectBatchRequest is the body of POST /inject-batch.
+type injectBatchRequest struct {
+	Packets []injectRequest `json:"packets"`
+}
+
+// batchReject reports one rejected packet of a batch.
+type batchReject struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
+func (s *server) handleInjectBatch(w http.ResponseWriter, r *http.Request) {
+	var req injectBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if len(req.Packets) == 0 {
+		fail(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	var ins []dataplane.Injection
+	for _, p := range req.Packets {
+		ins = s.expand(ins, p)
+	}
+	// Partial-batch semantics, like the engine's: bad packets are
+	// reported per index, the rest are admitted at one boundary.
+	var rejected []batchReject
+	for i, err := range s.c.InjectBatch(ins) {
+		if err != nil {
+			rejected = append(rejected, batchReject{Index: i, Error: err.Error()})
+		}
+	}
+	code := http.StatusOK
+	if len(rejected) == len(ins) {
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, map[string]any{
+		"injected": len(ins) - len(rejected),
+		"rejected": rejected,
+	})
 }
 
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -317,6 +377,7 @@ func newServer(c *ctrl.Controller) (*server, http.Handler) {
 	mux.HandleFunc("POST /program", s.handleProgram)
 	mux.HandleFunc("POST /swap", s.handleSwap)
 	mux.HandleFunc("POST /inject", s.handleInject)
+	mux.HandleFunc("POST /inject-batch", s.handleInjectBatch)
 	mux.HandleFunc("POST /quiesce", s.handleQuiesce)
 	return s, mux
 }

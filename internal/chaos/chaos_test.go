@@ -62,22 +62,25 @@ func TestChaosDeterminism(t *testing.T) {
 // TestChaosServed: the schedule replayed through a served engine with
 // controller-driven swaps stays violation-free (scheduling is
 // timing-dependent there, so only the audit — not the hash — is
-// asserted).
+// asserted). Both ingress paths are covered: per-packet InjectStamped
+// and batched InjectBatch inside the boundary.
 func TestChaosServed(t *testing.T) {
 	for _, name := range []string{"storm-swap", "wan-failover"} {
-		s, err := NewSchedule(name, 3, 120)
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := RunServed(s, 2)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.Violations() != 0 {
-			t.Errorf("%s served: %d mixed, %d dropped", name, res.Mixed, res.Dropped)
-		}
-		if res.Audited == 0 || res.Swaps == 0 {
-			t.Errorf("%s served: audited=%d swaps=%d — degenerate run", name, res.Audited, res.Swaps)
+		for _, batched := range []bool{false, true} {
+			s, err := NewSchedule(name, 3, 120)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunServed(s, Options{Workers: 2, Batched: batched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violations() != 0 {
+				t.Errorf("%s served batched=%v: %d mixed, %d dropped", name, batched, res.Mixed, res.Dropped)
+			}
+			if res.Audited == 0 || res.Swaps == 0 {
+				t.Errorf("%s served batched=%v: audited=%d swaps=%d — degenerate run", name, batched, res.Audited, res.Swaps)
+			}
 		}
 	}
 }

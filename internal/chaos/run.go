@@ -18,6 +18,15 @@ import (
 type Options struct {
 	Workers int
 	Mode    dataplane.Mode
+	// Batched drives every burst and storm through InjectBatch instead
+	// of per-packet InjectStamped. The delivery sequence must be
+	// bit-identical either way — the ingress-equivalence axis of the
+	// determinism matrix.
+	Batched bool
+	// ChunkGens overrides the engine's generations-per-chunk cap (0 =
+	// engine default). Chunking must be unobservable in the delivery
+	// sequence; the torture tests randomize it per run.
+	ChunkGens int
 }
 
 // Result is the outcome of one chaos run. Mixed and Dropped are the two
@@ -95,7 +104,7 @@ func Run(s Schedule, o Options) (*Result, error) {
 	if workers <= 0 {
 		workers = 1
 	}
-	e := dataplane.NewEngine(progs[0].n, sc.tp, dataplane.Options{Workers: workers, Mode: o.Mode})
+	e := dataplane.NewEngine(progs[0].n, sc.tp, dataplane.Options{Workers: workers, Mode: o.Mode, ChunkGens: o.ChunkGens})
 
 	// Two independent traffic streams derived from the schedule seed: one
 	// for injection contents, one for arrival (batch-size) draws. The
@@ -119,14 +128,34 @@ func Run(s Schedule, o Options) (*Result, error) {
 		res.Injected++
 		return nil
 	}
-	burst := func() error {
-		k := arrivals.BatchSizes(1, sc.dist, sc.mean)[0]
-		for _, in := range steer(sc, traffic.Injections(k)) {
-			if err := inject(in.Host, in.Fields); err != nil {
-				return err
+	// injectAll admits a pre-built batch either per-packet or through the
+	// batched ingress, per Options.Batched; both paths must be
+	// delivery-equivalent.
+	injectAll := func(ins []dataplane.Injection) error {
+		if !o.Batched {
+			for _, in := range ins {
+				if err := inject(in.Host, in.Fields); err != nil {
+					return err
+				}
 			}
+			return nil
+		}
+		for i := range ins {
+			ins[i].Fields["id"] = len(recs) + i
+		}
+		stamps, errs := e.InjectBatch(ins)
+		for i := range ins {
+			if errs != nil && errs[i] != nil {
+				return errs[i]
+			}
+			recs = append(recs, injRecord{host: ins[i].Host, fields: ins[i].Fields, stamp: stamps[i]})
+			res.Injected++
 		}
 		return nil
+	}
+	burst := func() error {
+		k := arrivals.BatchSizes(1, sc.dist, sc.mean)[0]
+		return injectAll(steer(sc, traffic.Injections(k)))
 	}
 	drain := func() error { return e.Run() }
 
@@ -159,11 +188,12 @@ func Run(s Schedule, o Options) (*Result, error) {
 		case OpStorm:
 			res.Storms++
 			k := sc.mean + arrivals.BatchSizes(1, sc.dist, sc.mean)[0]
-			for i := 0; i < k && err == nil; i++ {
+			ins := make([]dataplane.Injection, k)
+			for i := range ins {
 				h, f := sc.storm(i)
-				err = inject(h, f)
+				ins[i] = dataplane.Injection{Host: h, Fields: f}
 			}
-			if err == nil {
+			if err = injectAll(ins); err == nil {
 				err = drain()
 			}
 		case OpSwap:

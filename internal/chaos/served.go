@@ -10,20 +10,24 @@ import (
 )
 
 // RunServed replays a schedule against a served engine — supervisor
-// goroutine, asynchronous barriers — with program swaps going through the
-// controller's northbound Swap path, the integration surface the
-// synchronous runner cannot cover. Barrier placement is timing-dependent
-// in served mode, so the delivery Hash is not comparable across runs;
-// the audit invariant (Mixed == Dropped == 0) must hold regardless.
-func RunServed(s Schedule, workers int) (*Result, error) {
+// goroutine, asynchronous boundaries — with program swaps going through
+// the controller's northbound Swap path, the integration surface the
+// synchronous runner cannot cover. Boundary placement is
+// timing-dependent in served mode, so the delivery Hash is not
+// comparable across runs; the audit invariant (Mixed == Dropped == 0)
+// must hold regardless. Options.Batched switches the in-boundary
+// injection loop to Engine.InjectBatch; Options.ChunkGens rides through
+// to the engine.
+func RunServed(s Schedule, o Options) (*Result, error) {
 	sc, err := buildScenario(s.Scenario)
 	if err != nil {
 		return nil, err
 	}
+	workers := o.Workers
 	if workers <= 0 {
 		workers = 2
 	}
-	c := ctrl.New(sc.tp, ctrl.Options{Workers: workers})
+	c := ctrl.New(sc.tp, ctrl.Options{Workers: workers, Mode: o.Mode, ChunkGens: o.ChunkGens})
 	defer c.Close()
 	if err := c.Load(sc.progs[0].Name, sc.progs[0].Prog); err != nil {
 		return nil, err
@@ -43,6 +47,24 @@ func RunServed(s Schedule, workers int) (*Result, error) {
 	injectBatch := func(ins []dataplane.Injection) error {
 		var ierr error
 		e.Do(func() {
+			if o.Batched {
+				batch := make([]dataplane.Injection, len(ins))
+				for i, in := range ins {
+					f := in.Fields.Clone()
+					f["id"] = len(recs) + i
+					batch[i] = dataplane.Injection{Host: in.Host, Fields: f}
+				}
+				stamps, errs := e.InjectBatch(batch)
+				for i := range batch {
+					if errs != nil && errs[i] != nil {
+						ierr = errs[i]
+						return
+					}
+					recs = append(recs, injRecord{host: batch[i].Host, fields: batch[i].Fields, stamp: stamps[i]})
+					res.Injected++
+				}
+				return
+			}
 			for _, in := range ins {
 				f := in.Fields.Clone()
 				f["id"] = len(recs)

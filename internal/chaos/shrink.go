@@ -54,25 +54,28 @@ func Audit(s Schedule, o Options) (*Result, *Schedule, error) {
 }
 
 // CheckDeterminism replays a schedule at every given worker count on
-// both matcher planes and verifies the delivery sequence — hosts, header
-// fields, stamps, order — is bit-identical throughout.
+// both matcher planes, with both per-packet and batched ingress, and
+// verifies the delivery sequence — hosts, header fields, stamps, order —
+// is bit-identical throughout.
 func CheckDeterminism(s Schedule, workerCounts []int) error {
 	var ref *Result
 	var refDesc string
 	for _, m := range []dataplane.Mode{dataplane.ModeIndexed, dataplane.ModeScan} {
-		for _, w := range workerCounts {
-			r, err := Run(s, Options{Workers: w, Mode: m})
-			if err != nil {
-				return err
-			}
-			desc := fmt.Sprintf("workers=%d mode=%v", w, m)
-			if ref == nil {
-				ref, refDesc = r, desc
-				continue
-			}
-			if r.Hash != ref.Hash || r.Audited != ref.Audited {
-				return fmt.Errorf("chaos: %s seed %d nondeterministic: %s got %d deliveries hash %x, %s got %d hash %x",
-					s.Scenario, s.Seed, refDesc, ref.Audited, ref.Hash, desc, r.Audited, r.Hash)
+		for _, batched := range []bool{false, true} {
+			for _, w := range workerCounts {
+				r, err := Run(s, Options{Workers: w, Mode: m, Batched: batched})
+				if err != nil {
+					return err
+				}
+				desc := fmt.Sprintf("workers=%d mode=%v batched=%v", w, m, batched)
+				if ref == nil {
+					ref, refDesc = r, desc
+					continue
+				}
+				if r.Hash != ref.Hash || r.Audited != ref.Audited {
+					return fmt.Errorf("chaos: %s seed %d nondeterministic: %s got %d deliveries hash %x, %s got %d hash %x",
+						s.Scenario, s.Seed, refDesc, ref.Audited, ref.Hash, desc, r.Audited, r.Hash)
+				}
 			}
 		}
 	}

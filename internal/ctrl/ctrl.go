@@ -53,6 +53,12 @@ type Options struct {
 	// unlimited; long-running daemons must set it — see
 	// dataplane.Options.DeliveryLog).
 	DeliveryLog int
+	// ChunkGens caps the engine's generations per chunk between
+	// boundaries (0 = engine default; see dataplane.Options.ChunkGens).
+	// Swap-drain accounting is exact regardless: flips land at chunk
+	// edges and retirement is decided inside the chunk, at the
+	// generation that drained the last old-epoch packet.
+	ChunkGens int
 }
 
 // Program is one compiled program generation.
@@ -233,6 +239,7 @@ func (c *Controller) Load(name string, p stateful.Program) error {
 		Workers:     c.opts.Workers,
 		Mode:        c.opts.Mode,
 		DeliveryLog: c.opts.DeliveryLog,
+		ChunkGens:   c.opts.ChunkGens,
 	})
 	c.eng.Start()
 	return nil
@@ -377,6 +384,24 @@ func (c *Controller) Inject(host string, fields netkat.Packet) error {
 		return fmt.Errorf("ctrl: no program loaded")
 	}
 	return eng.InjectAsync(host, fields)
+}
+
+// InjectBatch queues a batch of packets for admission at one engine
+// boundary: validation runs here per packet, and the admissible packets
+// cost one supervisor round trip total. The returned slice follows
+// dataplane.InjectAsyncBatch's convention — nil when every packet was
+// admitted, otherwise errs[i] non-nil marks the rejected packets (the
+// rest of the batch is still admitted).
+func (c *Controller) InjectBatch(ins []dataplane.Injection) []error {
+	eng := c.engine()
+	if eng == nil {
+		errs := make([]error, len(ins))
+		for i := range errs {
+			errs[i] = fmt.Errorf("ctrl: no program loaded")
+		}
+		return errs
+	}
+	return eng.InjectAsyncBatch(ins)
 }
 
 // Quiesce blocks until the engine has drained all queued traffic.

@@ -1,0 +1,166 @@
+package dataplane_test
+
+import (
+	"testing"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/dataplane"
+	"eventnet/internal/netkat"
+)
+
+// Batched-ingress equivalence: InjectBatch of N packets must be
+// observationally identical to N sequential InjectStamped calls — same
+// stamps returned, same stamped delivery sequence, same hop and TTL
+// counters — and per-packet failures must reject exactly the bad
+// packets while the rest of the batch is admitted unchanged.
+
+// runRounds replays the rounds through inject (Run between rounds) and
+// returns the collected stamps plus the final engine.
+func runRounds(t *testing.T, a apps.App, batches [][]dataplane.Injection,
+	inject func(e *dataplane.Engine, batch []dataplane.Injection) []dataplane.Stamp) (*dataplane.Engine, []dataplane.Stamp) {
+	t.Helper()
+	e := dataplane.NewEngine(buildNES(t, a), a.Topo, dataplane.Options{Workers: 2})
+	var stamps []dataplane.Stamp
+	for _, batch := range batches {
+		stamps = append(stamps, inject(e, batch)...)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, stamps
+}
+
+// TestInjectBatchEquivalence: batch of N ≡ N sequential injections, for
+// stamps, stamped deliveries, and the engine counters.
+func TestInjectBatchEquivalence(t *testing.T) {
+	for _, a := range []apps.App{apps.Firewall(), apps.BandwidthCap(10), apps.IDSFatTree(4)} {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			batches := loadBatches(t, a, 3, 60)
+			seqEng, seqStamps := runRounds(t, a, batches, func(e *dataplane.Engine, batch []dataplane.Injection) []dataplane.Stamp {
+				var out []dataplane.Stamp
+				for _, in := range batch {
+					st, err := e.InjectStamped(in.Host, in.Fields)
+					if err != nil {
+						t.Fatal(err)
+					}
+					out = append(out, st)
+				}
+				return out
+			})
+			batEng, batStamps := runRounds(t, a, batches, func(e *dataplane.Engine, batch []dataplane.Injection) []dataplane.Stamp {
+				stamps, errs := e.InjectBatch(batch)
+				if errs != nil {
+					t.Fatalf("clean batch returned errors: %v", errs)
+				}
+				return stamps
+			})
+			if len(seqStamps) != len(batStamps) {
+				t.Fatalf("stamp counts differ: %d vs %d", len(seqStamps), len(batStamps))
+			}
+			for i := range seqStamps {
+				if seqStamps[i] != batStamps[i] {
+					t.Fatalf("stamp %d differs: %+v vs %+v", i, seqStamps[i], batStamps[i])
+				}
+			}
+			if i := sameStamped(seqEng.Deliveries(), batEng.Deliveries()); i != -1 {
+				t.Fatalf("deliveries diverge at %d", i)
+			}
+			ss, bs := seqEng.Snapshot(), batEng.Snapshot()
+			if ss.Processed != bs.Processed || ss.TTLDropped != bs.TTLDropped || ss.Deliveries != bs.Deliveries {
+				t.Fatalf("counters differ: sequential hops=%d ttl=%d delivered=%d, batched hops=%d ttl=%d delivered=%d",
+					ss.Processed, ss.TTLDropped, ss.Deliveries, bs.Processed, bs.TTLDropped, bs.Deliveries)
+			}
+			if len(seqEng.Deliveries()) == 0 {
+				t.Fatal("workload delivered nothing; equivalence is vacuous")
+			}
+		})
+	}
+}
+
+// TestInjectBatchPartialErrors pins the partial-batch semantics: a
+// packet that fails validation is reported at its own index (zero
+// stamp), consumes nothing, and the rest of the batch is admitted —
+// exactly a sequential loop that skips the failures.
+func TestInjectBatchPartialErrors(t *testing.T) {
+	a := apps.Firewall()
+	good := loadBatches(t, a, 1, 6)[0]
+	bad := make([]dataplane.Injection, 0, len(good)+2)
+	bad = append(bad, good[:2]...)
+	bad = append(bad, dataplane.Injection{Host: "NoSuchHost", Fields: netkat.Packet{"dst": apps.H(1)}})
+	bad = append(bad, good[2:4]...)
+	bad = append(bad, dataplane.Injection{Host: "H1", Fields: netkat.Packet{"dst": 1 << 40}})
+	bad = append(bad, good[4:]...)
+
+	e := dataplane.NewEngine(buildNES(t, a), a.Topo, dataplane.Options{Workers: 2})
+	stamps, errs := e.InjectBatch(bad)
+	if errs == nil {
+		t.Fatal("batch with invalid packets returned nil errs")
+	}
+	for i := range bad {
+		wantErr := i == 2 || i == 5
+		if (errs[i] != nil) != wantErr {
+			t.Fatalf("errs[%d] = %v, want error: %v", i, errs[i], wantErr)
+		}
+		if wantErr && stamps[i] != (dataplane.Stamp{}) {
+			t.Fatalf("failed packet %d got a stamp: %+v", i, stamps[i])
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reference: inject only the good packets sequentially.
+	ref := dataplane.NewEngine(buildNES(t, a), a.Topo, dataplane.Options{Workers: 2})
+	for _, in := range good {
+		if _, err := ref.InjectStamped(in.Host, in.Fields); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if i := sameStamped(ref.Deliveries(), e.Deliveries()); i != -1 {
+		t.Fatalf("partial batch deliveries diverge from skip-sequential reference at %d", i)
+	}
+}
+
+// TestInjectAsyncBatchServed: on a serving engine the whole batch is
+// admitted at one boundary, with validation errors surfaced
+// synchronously per packet, and the result matches a synchronous run of
+// the same batch.
+func TestInjectAsyncBatchServed(t *testing.T) {
+	a := apps.Firewall()
+	batch := loadBatches(t, a, 1, 40)[0]
+	withBad := append(append([]dataplane.Injection{}, batch...),
+		dataplane.Injection{Host: "NoSuchHost", Fields: netkat.Packet{"dst": apps.H(1)}})
+
+	e := dataplane.NewEngine(buildNES(t, a), a.Topo, dataplane.Options{Workers: 2})
+	e.Start()
+	errs := e.InjectAsyncBatch(withBad)
+	if errs == nil || errs[len(withBad)-1] == nil {
+		t.Fatalf("served batch did not surface the invalid packet: %v", errs)
+	}
+	for i := range batch {
+		if errs[i] != nil {
+			t.Fatalf("valid packet %d rejected: %v", i, errs[i])
+		}
+	}
+	e.Quiesce()
+	got := e.CopyDeliveries(0)
+	e.Stop()
+
+	ref := dataplane.NewEngine(buildNES(t, a), a.Topo, dataplane.Options{Workers: 2})
+	if _, errs := ref.InjectBatch(batch); errs != nil {
+		t.Fatalf("reference batch errored: %v", errs)
+	}
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if i := sameStamped(ref.Deliveries(), got); i != -1 {
+		t.Fatalf("served batch deliveries diverge from synchronous reference at %d", i)
+	}
+	if len(got) == 0 {
+		t.Fatal("served batch delivered nothing; equivalence is vacuous")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eventnet/internal/nes"
@@ -102,23 +103,30 @@ type Delivery struct {
 	Stamp  Stamp
 }
 
-// outEntry is one packet emitted during a generation, tagged with its
-// destination and its deterministic merge key (parent seq, branch).
+// outEntry is one ring-bound packet emitted during a generation, tagged
+// with its destination switch index. Host deliveries never enter the
+// outbox: the producing worker appends them straight to its private
+// delivery log (worker.dlog), keyed for the lazy canonical merge.
 type outEntry struct {
-	dst int // switch index, or -1 for a host delivery
-	hos string
+	dst int32 // destination switch index
 	pkt qpkt
 }
 
-// mergeRef is the sortable handle of one emission: its deterministic
-// merge key plus its position (worker, outbox index). The merge sorts
-// these small refs and walks the worker outboxes through them — the
-// ~100-byte entries themselves are neither gathered nor moved.
-type mergeRef struct {
-	seq    int64
-	branch int32
-	w      int32
-	idx    int32
+// emitRec records, per parent packet of a generation, where that
+// parent's ring-bound emissions live: entries [start, start+n) of worker
+// w's outbox, in branch order. The generation's parents have dense seqs
+// (genLo, genLo+len(emitBuf)], so the record array is indexed by
+// seq-genLo-1 and every slot is written by exactly one worker (the one
+// draining the parent's ring) — a disjoint-write index that replaces the
+// old ref-sort merge. off is the prefix sum of n over preceding parents,
+// filled serially between the drain and consume phases; it makes the
+// fresh seq of every pushed packet (seqBase+1+off+j) computable by any
+// worker without coordination.
+type emitRec struct {
+	w     int32
+	start int32
+	n     int32
+	off   int32
 }
 
 // Destination kinds of portDest.
@@ -140,8 +148,12 @@ type portDest struct {
 
 // flatDelivery is a host delivery retained in the flat representation;
 // the header map is materialized at the accessor boundary
-// (Deliveries/DeliveredTo/CopyDeliveries), keeping the generation merge
-// allocation-free.
+// (Deliveries/DeliveredTo/CopyDeliveries), keeping the hop loop
+// allocation-free. seq and branch are the delivery's genealogy key (the
+// parent packet's seq and the emitting group index): the lazy merge
+// sorts per-worker logs by (seq, branch), which reproduces the canonical
+// delivery sequence the eager per-generation merge used to materialize
+// (see docs/DATAPLANE.md, "Lazy delivery logs").
 type flatDelivery struct {
 	host   string
 	vals   []int32
@@ -149,6 +161,8 @@ type flatDelivery struct {
 	inert  netkat.Packet
 	schema *Schema
 	stamp  Stamp
+	seq    int64
+	branch int32
 }
 
 // materialize converts the retained delivery to its public form.
@@ -157,19 +171,52 @@ func (d *flatDelivery) materialize() Delivery {
 }
 
 // worker owns a shard of switches during a generation. All its fields are
-// private to one goroutine between barriers.
+// private to one goroutine between rendezvous points.
 type worker struct {
+	id         int32
 	outbox     []outEntry
-	free       [][]int32 // recycled flat value arrays
+	dlog       []flatDelivery // private delivery log, merged lazily
+	free       [][]int32      // recycled flat value arrays
 	processed  int64
 	drained    int64 // old-epoch hops during a transition
 	ttlDropped int64 // packets discarded by the hop TTL
 
+	// pushE/pushN tally this worker's ring pushes by program epoch during
+	// the consume phase (at most two epochs are ever live); the serial
+	// generation tail folds them into per-epoch inflight counts.
+	pushE [2]int
+	pushN [2]int64
+
 	// curPS memoizes the last epoch's progState within one generation
 	// (reset at the generation start: the progs list only changes at
-	// barriers).
+	// rendezvous points).
 	curPS    *progState
 	curEpoch int
+}
+
+// beginGen resets the worker's per-generation state.
+func (wk *worker) beginGen() {
+	wk.outbox = wk.outbox[:0]
+	wk.curPS, wk.curEpoch = nil, -1
+}
+
+// countPush tallies one ring push by program epoch.
+func (wk *worker) countPush(epoch int) {
+	if wk.pushN[0] == 0 {
+		wk.pushE[0] = epoch
+	}
+	if wk.pushE[0] == epoch {
+		wk.pushN[0]++
+		return
+	}
+	if wk.pushN[1] == 0 {
+		wk.pushE[1] = epoch
+	}
+	if wk.pushE[1] == epoch {
+		wk.pushN[1]++
+		return
+	}
+	panic("dataplane: more than two live epochs")
 }
 
 // maxFreeVals bounds a worker's free list. Injections drain worker 0's
@@ -221,6 +268,15 @@ type Options struct {
 	// when the log exceeds the bound its older half is dropped, and
 	// CopyDeliveries keeps addressing by absolute index.
 	DeliveryLog int
+	// ChunkGens caps how many generations the workers run between
+	// boundaries (control requests, async admissions, swap flips,
+	// delivery-log trims). Within a chunk workers rendezvous only with
+	// each other — never with the supervisor — and a pending boundary
+	// request ends the chunk at the next generation edge, so the cap
+	// bounds boundary latency without being its normal trigger. 0 means
+	// the default (64). Chunking is unobservable in the delivery
+	// sequence; the torture tests randomize it to prove that.
+	ChunkGens int
 }
 
 // progState is one live program generation: its NES, its compiled plan
@@ -443,7 +499,22 @@ type Engine struct {
 	deliveryCap  int
 	dropped      int64 // packets discarded by the hop TTL
 	ws           []*worker
-	refBuf       []mergeRef // persistent merge-ref buffer (sorted per generation)
+
+	// Chunked-generation state. ringLo/genLo delimit the dense seq window
+	// of the packets currently queued in rings — the next generation's
+	// parents are exactly seqs (ringLo, seq] — and emitBuf is the
+	// per-parent emission index of the generation in flight (see emitRec).
+	// genPushes is the generation's ring-bound emission count, computed by
+	// the serial prefix pass. chunkGens caps generations per chunk;
+	// boundReq asks the running chunk to end at the next generation edge;
+	// ph is the worker rendezvous.
+	ringLo    int64
+	genLo     int64
+	emitBuf   []emitRec
+	genPushes int64
+	chunkGens int
+	boundReq  atomic.Bool
+	ph        phaser
 
 	// Served-mode coordination. wmu guards inbox, ctl, serving, stopping
 	// and idle; cond (on wmu) wakes the supervisor and Quiesce/waiters.
@@ -529,7 +600,11 @@ func NewEngine(n *nes.NES, t *topo.Topology, opts Options) *Engine {
 	e.progs = []*progState{e.newProgState(0, n)}
 	e.ws = make([]*worker, w)
 	for i := range e.ws {
-		e.ws[i] = &worker{}
+		e.ws[i] = &worker{id: int32(i)}
+	}
+	e.chunkGens = opts.ChunkGens
+	if e.chunkGens <= 0 {
+		e.chunkGens = defaultChunkGens
 	}
 	return e
 }
@@ -571,6 +646,12 @@ func (e *Engine) InjectStamped(host string, fields netkat.Packet) (Stamp, error)
 	if !ok {
 		return Stamp{}, fmt.Errorf("dataplane: unknown host %q", host)
 	}
+	// Validation precedes the seq increment: the chunked generation
+	// machinery relies on the queued packets forming a dense seq window
+	// (ringLo, seq], so a rejected injection must not consume a seq.
+	if err := ValidateDomain(fields); err != nil {
+		return Stamp{}, err
+	}
 	cp := e.cur()
 	i := e.swIdx[h.Attach.Switch]
 	st := Stamp{Epoch: cp.epoch, Version: cp.gAt(cp.views[i])}
@@ -579,12 +660,9 @@ func (e *Engine) InjectStamped(host string, fields netkat.Packet) (Stamp, error)
 	// flat array and resolves the inert remainder (shared read-only by
 	// every copy of the journey; usually nil). The value array comes from
 	// worker 0's free list when one of the right width is available —
-	// injection runs at barriers, when workers are quiescent — so a
+	// injection runs at boundaries, when workers are quiescent — so a
 	// workload whose packets expire in the network recirculates arrays
 	// instead of growing a free list forever.
-	if err := ValidateDomain(fields); err != nil {
-		return Stamp{}, err
-	}
 	vals := e.ws[0].takeVals(cp.schema.Len())
 	pres, inert := cp.schema.intern(fields, vals)
 	e.rings[i].push(&qpkt{
@@ -625,46 +703,58 @@ func (e *Engine) pending() int {
 }
 
 // Run forwards every queued packet to quiescence: generations of one hop
-// each, switches sharded over the configured workers, a barrier and a
-// deterministic queue merge between generations. Control requests staged
-// while the engine was idle (e.g. StageSwap in synchronous mode) are
-// applied at the first barrier.
+// each, switches sharded over the configured workers, run in chunks of
+// up to ChunkGens generations between boundaries. Control requests
+// staged while the engine was idle (e.g. StageSwap in synchronous mode)
+// are applied at the first boundary.
 func (e *Engine) Run() error {
-	for g := 0; ; g++ {
-		if g > maxGenerations {
-			return fmt.Errorf("dataplane: no quiescence within %d generations", maxGenerations)
-		}
-		e.barrier()
+	total := 0
+	for {
+		e.boundary()
 		if e.pending() == 0 {
 			return nil
 		}
-		e.generation()
+		if total >= maxGenerations {
+			return fmt.Errorf("dataplane: no quiescence within %d generations", maxGenerations)
+		}
+		total += e.runChunk(min(e.chunkGens, maxGenerations-total))
 	}
 }
 
 // Step runs at most n generations and returns the number executed,
 // stopping early at quiescence. Synchronous mode only. It is the
 // deterministic mid-flight hook: tests stage swaps between Step calls to
-// place the flip barrier at an exact point of a packet's journey.
+// place the flip boundary at an exact point of a packet's journey.
 func (e *Engine) Step(n int) int {
 	ran := 0
-	for ; ran < n; ran++ {
-		e.barrier()
+	for ran < n {
+		e.boundary()
 		if e.pending() == 0 {
 			break
 		}
-		e.generation()
+		ran += e.runChunk(min(n-ran, e.chunkGens))
 	}
 	return ran
 }
 
-// barrier is the between-generations point: queued control closures run,
-// swap bookkeeping advances, and (in served mode) asynchronous injections
-// are admitted. Everything here sees quiescent engine state.
-func (e *Engine) barrier() {
+// boundary is the between-chunks point: queued control closures run,
+// swap bookkeeping advances, (in served mode) asynchronous injections
+// are admitted, and a bounded delivery log over its high-water mark is
+// folded and trimmed. Everything here sees quiescent engine state.
+func (e *Engine) boundary() {
+	e.boundReq.Store(false)
 	e.runControl()
 	e.retireIfDrained()
 	e.admitInbox()
+	if e.deliveryCap > 0 {
+		n := 0
+		for _, wk := range e.ws {
+			n += len(wk.dlog)
+		}
+		if n > e.deliveryCap/2 {
+			e.mergeDeliveries()
+		}
+	}
 }
 
 // runControl executes queued control closures.
@@ -715,114 +805,6 @@ func (e *Engine) retireIfDrained() {
 	close(s.done)
 }
 
-// generation executes one bulk-synchronous generation: every queued
-// packet forwarded one hop by the sharded workers, then the deterministic
-// (parent seq, branch) merge assigning fresh seqs.
-func (e *Engine) generation() {
-	e.gen++
-	if e.workers == 1 {
-		// Single worker: drain inline. Spawning the goroutine would put a
-		// closure allocation and a scheduler round-trip on every
-		// generation for nothing.
-		wk := e.ws[0]
-		wk.outbox = wk.outbox[:0]
-		wk.curPS, wk.curEpoch = nil, -1
-		for i := 0; i < len(e.switches); i++ {
-			e.drain(wk, i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < e.workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				wk := e.ws[w]
-				wk.outbox = wk.outbox[:0]
-				wk.curPS, wk.curEpoch = nil, -1
-				for i := w; i < len(e.switches); i += e.workers {
-					e.drain(wk, i)
-				}
-			}(w)
-		}
-		wg.Wait()
-	}
-
-	// Barrier: merge every worker's emissions into the per-switch rings
-	// in the deterministic (parent seq, branch) order, and assign fresh
-	// seqs in that same order so the next generation is ordered no matter
-	// which worker produced what.
-	refs := e.refBuf[:0]
-	genHops, genDrained := int64(0), int64(0)
-	for w, wk := range e.ws {
-		for i := range wk.outbox {
-			refs = append(refs, mergeRef{seq: wk.outbox[i].pkt.seq, branch: wk.outbox[i].pkt.branch, w: int32(w), idx: int32(i)})
-		}
-		e.processed += wk.processed
-		genHops += wk.processed
-		genDrained += wk.drained
-		e.dropped += wk.ttlDropped
-		wk.processed, wk.drained, wk.ttlDropped = 0, 0, 0
-	}
-	// (parent seq, branch) keys are unique per emission, so the unstable
-	// sort is deterministic.
-	slices.SortFunc(refs, func(a, b mergeRef) int {
-		if a.seq != b.seq {
-			if a.seq < b.seq {
-				return -1
-			}
-			return 1
-		}
-		return int(a.branch) - int(b.branch)
-	})
-	// The generation consumed every queued packet; the rings now hold
-	// exactly what the merge pushes back, so per-epoch inflight counts
-	// are recomputed here from scratch.
-	for _, ps := range e.progs {
-		ps.inflight = 0
-	}
-	for ri := range refs {
-		en := &e.ws[refs[ri].w].outbox[refs[ri].idx]
-		if en.dst < 0 {
-			// Retention stays flat; the packet's epoch is live at this
-			// merge (retirement is decided below), so its schema resolves.
-			e.deliveries = append(e.deliveries, flatDelivery{
-				host:   en.hos,
-				vals:   en.pkt.vals,
-				pres:   en.pkt.pres,
-				inert:  en.pkt.inert,
-				schema: e.prog(en.pkt.epoch).schema,
-				stamp:  Stamp{Epoch: en.pkt.epoch, Version: en.pkt.version},
-			})
-			continue
-		}
-		e.seq++
-		en.pkt.seq = e.seq
-		en.pkt.branch = 0
-		e.rings[en.dst].push(&en.pkt)
-		if ps := e.prog(en.pkt.epoch); ps != nil {
-			ps.inflight++
-		}
-	}
-	// Trim the delivery log to its bound (absolute indexing preserved via
-	// deliveryBase), so a long-running service does not retain every
-	// packet it ever delivered.
-	if e.deliveryCap > 0 && len(e.deliveries) > e.deliveryCap {
-		drop := len(e.deliveries) - e.deliveryCap/2
-		e.deliveryBase += drop
-		e.deliveries = append(e.deliveries[:0], e.deliveries[drop:]...)
-	}
-	e.refBuf = refs[:0]
-	if e.swap != nil {
-		e.swap.s.stats.TransitionHops += genHops
-		e.swap.s.stats.DrainedHops += genDrained
-	}
-	// Retirement is decided here, where the per-epoch counts are freshly
-	// exact, so the transition window closes at the merge that drained
-	// the last old packet — not at the next barrier, behind whatever
-	// control work happens to be queued there.
-	e.retireIfDrained()
-}
-
 // drain processes every packet queued at switch index i (the SWITCH rule,
 // one hop) on the calling worker. This is the engine's hot loop, and it
 // runs entirely on the flat representation: matching, event detection and
@@ -839,7 +821,11 @@ func (e *Engine) drain(wk *worker, i int) {
 	}
 	dests := e.dests[i]
 	for r.len() > 0 {
-		e.hop(wk, i, dests, r.peekRef(), oldEpoch, newPS)
+		p := r.peekRef()
+		rec := &e.emitBuf[p.seq-e.genLo-1]
+		rec.w, rec.start = wk.id, int32(len(wk.outbox))
+		e.hop(wk, i, dests, p, oldEpoch, newPS)
+		rec.n = int32(len(wk.outbox)) - rec.start
 		r.drop()
 	}
 }
@@ -932,7 +918,24 @@ func (e *Engine) hop(wk *worker, i int, dests []portDest, p *qpkt, oldEpoch int,
 		for si, fi := range g.setIdx {
 			vals[fi] = g.setVal[si]
 		}
-		out := qpkt{
+		if d.kind == destHost {
+			// Host deliveries bypass the merge entirely: retention stays
+			// flat in the worker's private log, keyed (parent seq, branch)
+			// for the lazy canonical sort. The packet's progState is live
+			// here, so its schema resolves.
+			wk.dlog = append(wk.dlog, flatDelivery{
+				host:   d.host,
+				vals:   vals,
+				pres:   p.pres | g.setMask,
+				inert:  p.inert,
+				schema: ps.schema,
+				stamp:  Stamp{Epoch: p.epoch, Version: p.version},
+				seq:    p.seq,
+				branch: int32(gi),
+			})
+			continue
+		}
+		wk.outbox = append(wk.outbox, outEntry{dst: d.idx, pkt: qpkt{
 			vals:    vals,
 			pres:    p.pres | g.setMask,
 			inert:   p.inert,
@@ -943,12 +946,7 @@ func (e *Engine) hop(wk *worker, i int, dests []portDest, p *qpkt, oldEpoch int,
 			seq:     p.seq,
 			branch:  int32(gi),
 			hops:    p.hops + 1,
-		}
-		if d.kind == destHost {
-			wk.outbox = append(wk.outbox, outEntry{dst: -1, hos: d.host, pkt: out})
-		} else {
-			wk.outbox = append(wk.outbox, outEntry{dst: int(d.idx), pkt: out})
-		}
+		}})
 	}
 }
 
@@ -1032,9 +1030,10 @@ func (e *Engine) Start() {
 	go e.serve()
 }
 
-// Stop shuts the supervisor down: the current generation (if any)
-// completes, remaining control requests are honored, queued packets stay
-// in the rings, and every engine goroutine exits. Stop is idempotent —
+// Stop shuts the supervisor down: a running chunk ends at its next
+// generation edge, remaining control requests are honored, queued
+// packets stay in the rings, and every engine goroutine exits. Stop is
+// idempotent —
 // stopping twice, stopping mid-batch, or stopping a never-started engine
 // are all safe — and returns only when the supervisor has exited.
 func (e *Engine) Stop() {
@@ -1045,16 +1044,20 @@ func (e *Engine) Stop() {
 		return
 	}
 	e.stopping = true
+	e.boundReq.Store(true) // end a running chunk at the next generation edge
 	e.cond.Broadcast()
 	e.wmu.Unlock()
 	<-e.doneCh
 }
 
-// serve is the supervisor loop.
+// serve is the supervisor loop: boundaries (control, admissions, swap
+// bookkeeping) interleaved with chunks of up to ChunkGens generations.
+// Requests arriving mid-chunk raise boundReq, so the chunk ends at the
+// next generation edge and boundary latency stays ~one generation.
 func (e *Engine) serve() {
 	defer close(e.doneCh)
 	for {
-		e.barrier()
+		e.boundary()
 		e.wmu.Lock()
 		if e.stopping {
 			e.serving = false
@@ -1065,7 +1068,7 @@ func (e *Engine) serve() {
 		}
 		e.wmu.Unlock()
 		if e.pending() > 0 {
-			e.generation()
+			e.runChunk(e.chunkGens)
 			continue
 		}
 		// Idle: wait for injections, control requests, or stop.
@@ -1096,6 +1099,7 @@ func (e *Engine) InjectAsync(host string, fields netkat.Packet) error {
 		return e.Inject(host, fields)
 	}
 	e.inbox = append(e.inbox, injectReq{host: host, fields: fields.Clone()})
+	e.boundReq.Store(true)
 	e.cond.Broadcast()
 	e.wmu.Unlock()
 	return nil
@@ -1114,6 +1118,7 @@ func (e *Engine) Do(f func()) {
 	}
 	req := ctlReq{f: f, done: make(chan struct{})}
 	e.ctl = append(e.ctl, req)
+	e.boundReq.Store(true)
 	e.cond.Broadcast()
 	e.wmu.Unlock()
 	<-req.done
@@ -1175,6 +1180,10 @@ func (e *Engine) Snapshot() Snapshot {
 	var s Snapshot
 	e.Do(func() {
 		cp := e.cur()
+		delivered := e.deliveryBase + len(e.deliveries)
+		for _, wk := range e.ws {
+			delivered += len(wk.dlog) // not yet folded; counting stays lazy
+		}
 		s = Snapshot{
 			Epoch:      cp.epoch,
 			Programs:   len(e.progs),
@@ -1182,7 +1191,7 @@ func (e *Engine) Snapshot() Snapshot {
 			Generation: e.gen,
 			Pending:    e.pending(),
 			Processed:  e.processed,
-			Deliveries: e.deliveryBase + len(e.deliveries),
+			Deliveries: delivered,
 			TTLDropped: e.dropped,
 			States:     len(cp.nes.Configs),
 			Events:     len(cp.nes.Events),
@@ -1199,6 +1208,51 @@ func (e *Engine) Snapshot() Snapshot {
 	return s
 }
 
+// mergeDeliveries folds the per-worker delivery logs into the global
+// canonical sequence. Each worker appended its shard's deliveries
+// lock-free during chunks, keyed (parent seq, branch) — the same
+// genealogy keys the old eager merge sorted every generation. Parent
+// seqs grow strictly across generations, so everything gathered here
+// sorts after everything gathered before: sorting just the new tail
+// yields the globally sorted log, and the merged prefix never moves.
+// Must run with workers quiescent (synchronous mode, or inside Do).
+func (e *Engine) mergeDeliveries() {
+	n := 0
+	for _, wk := range e.ws {
+		n += len(wk.dlog)
+	}
+	if n == 0 {
+		return
+	}
+	start := len(e.deliveries)
+	for _, wk := range e.ws {
+		e.deliveries = append(e.deliveries, wk.dlog...)
+		for i := range wk.dlog {
+			wk.dlog[i] = flatDelivery{} // release references
+		}
+		wk.dlog = wk.dlog[:0]
+	}
+	tail := e.deliveries[start:]
+	// (parent seq, branch) keys are unique per delivery, so the unstable
+	// sort is deterministic.
+	slices.SortFunc(tail, func(a, b flatDelivery) int {
+		if a.seq != b.seq {
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
+		}
+		return int(a.branch) - int(b.branch)
+	})
+	// Trim to the bound (absolute indexing preserved via deliveryBase) so
+	// a long-running service does not retain every packet it delivered.
+	if e.deliveryCap > 0 && len(e.deliveries) > e.deliveryCap {
+		drop := len(e.deliveries) - e.deliveryCap/2
+		e.deliveryBase += drop
+		e.deliveries = append(e.deliveries[:0], e.deliveries[drop:]...)
+	}
+}
+
 // CopyDeliveries returns a barrier-consistent copy of the retained
 // deliveries from absolute index `from` on (safe while serving), with
 // header maps materialized from the flat retention — the egress
@@ -1208,6 +1262,7 @@ func (e *Engine) Snapshot() Snapshot {
 func (e *Engine) CopyDeliveries(from int) []Delivery {
 	var out []Delivery
 	e.Do(func() {
+		e.mergeDeliveries()
 		i := from - e.deliveryBase
 		if i < 0 {
 			i = 0
@@ -1225,6 +1280,7 @@ func (e *Engine) CopyDeliveries(from int) []Delivery {
 // deterministic delivery order, materialized from the flat retention.
 // Synchronous mode only; use CopyDeliveries on a serving engine.
 func (e *Engine) Deliveries() []Delivery {
+	e.mergeDeliveries()
 	out := make([]Delivery, len(e.deliveries))
 	for i := range e.deliveries {
 		out[i] = e.deliveries[i].materialize()
@@ -1234,6 +1290,7 @@ func (e *Engine) Deliveries() []Delivery {
 
 // DeliveredTo returns the packets delivered to the named host.
 func (e *Engine) DeliveredTo(host string) []netkat.Packet {
+	e.mergeDeliveries()
 	var out []netkat.Packet
 	for i := range e.deliveries {
 		if e.deliveries[i].host == host {

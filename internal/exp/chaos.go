@@ -62,7 +62,7 @@ func Chaos(rounds int, seeds []int64, workers int) (*ChaosResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := chaos.RunServed(s, workers)
+		res, err := chaos.RunServed(s, chaos.Options{Workers: workers, Batched: true})
 		if err != nil {
 			return nil, err
 		}

@@ -581,9 +581,11 @@ func Throughput(probes int) *Table {
 		elg := dataplane.NewLoadGen(n, a.Topo, 17)
 		batch := elg.Injections(256)
 		runBatch := func() {
-			for _, in := range batch {
-				if err := eng.Inject(in.Host, in.Fields); err != nil {
-					panic(err)
+			if _, errs := eng.InjectBatch(batch); errs != nil {
+				for _, err := range errs {
+					if err != nil {
+						panic(err)
+					}
 				}
 			}
 			if err := eng.Run(); err != nil {

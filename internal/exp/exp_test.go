@@ -223,3 +223,27 @@ func TestSwapExperiment(t *testing.T) {
 		t.Fatalf("malformed result table: %+v", res.Table)
 	}
 }
+
+// TestScaleShape: the multi-core sweep runs end to end at a small packet
+// budget, emits one row per (procs, workers) cell with positive rates,
+// and its determinism witness passes (Scale errors out otherwise). The
+// near-linear speedup acceptance is a multi-core timing property,
+// measured by `experiments -only scale-cores` on the CI multi-core job
+// rather than asserted under arbitrary load here.
+func TestScaleShape(t *testing.T) {
+	res, err := Scale(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash == 0 {
+		t.Fatal("determinism witness hashed nothing")
+	}
+	if len(res.Points) == 0 || len(res.Table.Rows) != len(res.Points) {
+		t.Fatalf("malformed sweep: %d points, %d rows", len(res.Points), len(res.Table.Rows))
+	}
+	for _, p := range res.Points {
+		if p.PPS <= 0 || p.NsHop <= 0 || p.Speedup <= 0 {
+			t.Fatalf("non-positive cell: %+v", p)
+		}
+	}
+}

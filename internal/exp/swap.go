@@ -72,18 +72,24 @@ func Swap(packets int) *SwapResult {
 	var stamps []dataplane.Stamp
 	id := 0
 	injectBatch := func(k int) {
+		ins := make([]dataplane.Injection, k)
+		for j := 0; j < k; j++ {
+			in := stream[(id+j)%len(stream)]
+			f := in.Fields.Clone()
+			f["id"] = id + j
+			ins[j] = dataplane.Injection{Host: in.Host, Fields: f}
+		}
+		id += k
 		e.Do(func() {
-			for j := 0; j < k; j++ {
-				in := stream[id%len(stream)]
-				f := in.Fields.Clone()
-				f["id"] = id
-				st, err := e.InjectStamped(in.Host, f)
-				if err != nil {
-					panic(err)
+			sts, errs := e.InjectBatch(ins)
+			if errs != nil {
+				for _, err := range errs {
+					if err != nil {
+						panic(err)
+					}
 				}
-				stamps = append(stamps, st)
-				id++
 			}
+			stamps = append(stamps, sts...)
 		})
 	}
 	swapTo := func(a apps.App) ctrl.SwapReport {
