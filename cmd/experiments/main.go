@@ -21,22 +21,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync/atomic"
 
 	"eventnet/internal/exp"
 )
 
 // result is the machine-readable form of one experiment's output.
+// RunSeq is a monotonic emission counter (ties rows of one invocation
+// together and orders them); the GOMAXPROCS/NumCPU pair records the
+// machine context a benchmark row was measured under.
 type result struct {
-	Kind    string     `json:"kind"` // "table" or "timeline"
-	Name    string     `json:"name"`
-	Title   string     `json:"title"`
-	Columns []string   `json:"columns,omitempty"`
-	Rows    [][]string `json:"rows,omitempty"`
+	Kind       string     `json:"kind"` // "table" or "timeline"
+	Name       string     `json:"name"`
+	RunSeq     int64      `json:"run_seq"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	Title      string     `json:"title"`
+	Columns    []string   `json:"columns,omitempty"`
+	Rows       [][]string `json:"rows,omitempty"`
 	// Timelines flatten to rows of [series, time, flow, outcome].
 }
 
 var asJSON bool
+var runSeq atomic.Int64
 
 // emit prints a table or timeline either human-readably or as one JSON
 // line.
@@ -66,6 +75,9 @@ func emit(name string, v any) {
 	default:
 		panic(fmt.Sprintf("experiments: unknown result type %T", v))
 	}
+	r.RunSeq = runSeq.Add(1)
+	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	r.NumCPU = runtime.NumCPU()
 	enc := json.NewEncoder(os.Stdout)
 	if err := enc.Encode(r); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -75,7 +87,7 @@ func emit(name string, v any) {
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
-	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables, scale, scale-cores, throughput, swap, chaos")
+	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables, scale, scale-cores, throughput, swap, chaos, trace")
 	flag.BoolVar(&asJSON, "json", false, "emit one JSON object per experiment instead of text")
 	flag.Parse()
 
@@ -124,6 +136,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: swap audit FAILED: %d mixed, %d dropped\n", res.Mixed, res.Dropped)
 			os.Exit(1)
 		}
+	}
+	if sel("trace") {
+		packets := 48
+		if *quick {
+			packets = 12
+		}
+		emit("trace", exp.Trace(packets))
 	}
 	if sel("chaos") {
 		rounds, seeds := 800, []int64{1, 2}

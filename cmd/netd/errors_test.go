@@ -21,7 +21,7 @@ func TestNetdErrorPaths(t *testing.T) {
 	if err := c.Load(a.Name, a.Prog); err != nil {
 		t.Fatal(err)
 	}
-	_, handler := newServer(c)
+	_, handler := newServer(c, nil)
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
 

@@ -7,9 +7,18 @@
 //
 // API (all JSON):
 //
-//	GET  /healthz   liveness
+//	GET  /healthz   liveness; 503 with a reason when the engine stopped
+//	                or a swap has wedged past its drain timeout
 //	GET  /status    program, epoch, swap history, engine snapshot
-//	GET  /stats     per-switch hop counts, event views, queue depths
+//	GET  /stats     engine counters, uptime, build and runtime info
+//	GET  /metrics   Prometheus text exposition (see docs/OBSERVABILITY.md)
+//	GET  /watch     live event feed: deliveries (sampled), detections,
+//	                swap phases, stats deltas, journey traces. NDJSON by
+//	                default; SSE with ?sse=1 or Accept: text/event-stream.
+//	                ?kinds=swap,stats filters; ?buf=N sizes the
+//	                subscriber buffer. A slow consumer never stalls the
+//	                engine — overflow is dropped and counted, and the
+//	                drop total rides on the periodic meta heartbeat.
 //	POST /program   submit a program: {"app":"bandwidth-cap","cap":20}
 //	                or {"name":"p2","source":"...","init":[0]}; compiles
 //	                and stages it, returns its shape
@@ -38,6 +47,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -47,14 +59,30 @@ import (
 	"eventnet/internal/ctrl"
 	"eventnet/internal/dataplane"
 	"eventnet/internal/netkat"
+	"eventnet/internal/obs"
 	"eventnet/internal/stateful"
 	"eventnet/internal/syntax"
 	"eventnet/internal/topo"
 )
 
+// version is the build identity, overridable at link time:
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/netd
+var version = "dev"
+
+// statsSchemaVersion is bumped whenever the /stats shape changes.
+const statsSchemaVersion = 2
+
 // server is the northbound API over one controller.
 type server struct {
-	c *ctrl.Controller
+	c     *ctrl.Controller
+	obs   *obs.Obs // nil when observability is disabled
+	start time.Time
+
+	// watchBuf is the default per-subscriber event buffer of /watch;
+	// heartbeat paces the keep-alive (and drop-total) meta events.
+	watchBuf  int
+	heartbeat time.Duration
 
 	mu     sync.Mutex
 	staged *stagedProgram
@@ -348,16 +376,123 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.c.Status()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"program":     st.Program,
-		"epoch":       st.Epoch,
-		"swapping":    st.Swapping,
-		"generation":  st.Engine.Generation,
-		"processed":   st.Engine.Processed,
-		"deliveries":  st.Engine.Deliveries,
-		"ttl_dropped": st.Engine.TTLDropped,
-		"pending":     st.Engine.Pending,
-		"switches":    st.Engine.Switches,
+		"schema_version": statsSchemaVersion,
+		"version":        version,
+		"go_version":     runtime.Version(),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"num_cpu":        runtime.NumCPU(),
+		"uptime_s":       time.Since(s.start).Seconds(),
+		"program":        st.Program,
+		"epoch":          st.Epoch,
+		"swapping":       st.Swapping,
+		"generation":     st.Engine.Generation,
+		"processed":      st.Engine.Processed,
+		"deliveries":     st.Engine.Deliveries,
+		"ttl_dropped":    st.Engine.TTLDropped,
+		"pending":        st.Engine.Pending,
+		"switches":       st.Engine.Switches,
 	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ok, reason := s.c.Health()
+	code := http.StatusOK
+	if !ok {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"ok": ok, "reason": reason})
+}
+
+// handleMetrics serves the Prometheus text exposition. The watch gauges
+// are refreshed here — scrape time — rather than on the engine's hot
+// path.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.obs == nil || s.obs.Metrics == nil {
+		fail(w, http.StatusNotFound, "observability disabled")
+		return
+	}
+	if b := s.obs.Bus; b != nil {
+		s.obs.Metrics.SetGauge(obs.GaugeWatchSubscribers, int64(b.Subscribers()))
+		s.obs.Metrics.SetGauge(obs.GaugeWatchDropped, b.Dropped())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.obs.Metrics.WritePrometheus(w)
+}
+
+// handleWatch streams the live event feed. Backpressure is strictly
+// bounded: the subscription buffer absorbs bursts, overflow is dropped
+// and counted on the bus side (never blocking a barrier), and the
+// writer below is the only place that ever waits on the client.
+func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if s.obs == nil || s.obs.Bus == nil {
+		fail(w, http.StatusNotFound, "observability disabled")
+		return
+	}
+	buf := s.watchBuf
+	if v, err := strconv.Atoi(r.URL.Query().Get("buf")); err == nil && v > 0 && v <= 1<<16 {
+		buf = v
+	}
+	var kinds []string
+	if ks := r.URL.Query().Get("kinds"); ks != "" {
+		kinds = strings.Split(ks, ",")
+	}
+	sse := r.URL.Query().Get("sse") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	flusher, canFlush := w.(http.Flusher)
+
+	sub := s.obs.Bus.Subscribe(buf, kinds...)
+	defer sub.Close()
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	if canFlush {
+		flusher.Flush()
+	}
+
+	enc := json.NewEncoder(w)
+	write := func(ev obs.Event) bool {
+		if sse {
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: ", ev.Kind); err != nil {
+				return false
+			}
+		}
+		if err := enc.Encode(ev); err != nil { // Encode appends the newline
+			return false
+		}
+		if sse {
+			if _, err := fmt.Fprint(w, "\n"); err != nil {
+				return false
+			}
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	hb := time.NewTicker(s.heartbeat)
+	defer hb.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev := <-sub.C:
+			if !write(ev) {
+				return
+			}
+		case <-hb.C:
+			// The heartbeat doubles as the drop-count surface: a consumer
+			// too slow for its buffer learns exactly how much it missed.
+			if !write(obs.Event{Kind: obs.KindMeta, Note: "heartbeat", Dropped: sub.Dropped()}) {
+				return
+			}
+		}
+	}
 }
 
 func (s *server) handleQuiesce(w http.ResponseWriter, r *http.Request) {
@@ -365,15 +500,17 @@ func (s *server) handleQuiesce(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"quiesced": true})
 }
 
-// newServer wires the API routes (split out for the smoke test).
-func newServer(c *ctrl.Controller) (*server, http.Handler) {
-	s := &server{c: c}
+// newServer wires the API routes (split out for the smoke test). o is
+// the observability layer the controller was built with; nil disables
+// /metrics and /watch.
+func newServer(c *ctrl.Controller, o *obs.Obs) (*server, http.Handler) {
+	s := &server{c: c, obs: o, start: time.Now(), watchBuf: 256, heartbeat: 15 * time.Second}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /status", s.handleStatus)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /watch", s.handleWatch)
 	mux.HandleFunc("POST /program", s.handleProgram)
 	mux.HandleFunc("POST /swap", s.handleSwap)
 	mux.HandleFunc("POST /inject", s.handleInject)
@@ -389,6 +526,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 2, "forwarding workers")
 	mode := flag.String("dataplane", "indexed", "forwarding mode: indexed or scan")
+	traceSample := flag.Int("trace-sample", 64, "trace every Nth injected packet (0 disables journey tracing)")
+	deliverySample := flag.Int("delivery-sample", 16, "publish every Nth delivery on /watch (0 disables the delivery feed)")
+	watchBuf := flag.Int("watch-buf", 256, "default per-subscriber /watch event buffer")
 	flag.Parse()
 
 	m, ok := dataplane.ParseMode(*mode)
@@ -400,17 +540,30 @@ func main() {
 		log.Fatalf("netd: %v", err)
 	}
 
+	// The daemon always runs with full observability: the hot path is
+	// zero-alloc with metrics on (CI-pinned), so there is nothing to gain
+	// from a switch.
+	o := &obs.Obs{
+		Metrics:        obs.NewMetrics(*workers),
+		Bus:            obs.NewBus(),
+		DeliverySample: *deliverySample,
+	}
+	if *traceSample > 0 {
+		o.Trace = obs.NewTracer(*traceSample, *workers)
+	}
+
 	// Bound the delivery log: a daemon must not retain every packet it
 	// ever delivered.
-	c := ctrl.New(a.Topo, ctrl.Options{Workers: *workers, Mode: m, DeliveryLog: 1 << 16})
+	c := ctrl.New(a.Topo, ctrl.Options{Workers: *workers, Mode: m, DeliveryLog: 1 << 16, Obs: o})
 	if err := c.Load(a.Name, a.Prog); err != nil {
 		log.Fatalf("netd: loading %s: %v", a.Name, err)
 	}
-	_, handler := newServer(c)
+	s, handler := newServer(c, o)
+	s.watchBuf = *watchBuf
 	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	go func() {
-		log.Printf("netd: serving %s on %s (%d workers, %s dataplane)", a.Name, *addr, *workers, m)
+		log.Printf("netd: %s serving %s on %s (%d workers, %s dataplane)", version, a.Name, *addr, *workers, m)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("netd: %v", err)
 		}

@@ -50,7 +50,7 @@ func TestNetdSmoke(t *testing.T) {
 	if err := c.Load(a.Name, a.Prog); err != nil {
 		t.Fatal(err)
 	}
-	_, handler := newServer(c)
+	_, handler := newServer(c, nil)
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
 
@@ -125,7 +125,7 @@ func TestNetdInjectBatch(t *testing.T) {
 	if err := c.Load(a.Name, a.Prog); err != nil {
 		t.Fatal(err)
 	}
-	_, handler := newServer(c)
+	_, handler := newServer(c, nil)
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
 

@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"testing"
+
+	"eventnet/internal/obs"
+)
+
+// TestChaosWithObsIdenticalAndClean replays one schedule twice — obs off
+// and obs fully on (metrics, per-packet tracing, a deliberately starved
+// bus subscriber) — and requires the bit-identical delivery hash, a
+// clean audit, and the run's counters folded into the metrics layer.
+// This is the standing proof that telemetry is an observer, not a
+// participant.
+func TestChaosWithObsIdenticalAndClean(t *testing.T) {
+	s, err := NewSchedule("storm-swap", 13, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(s, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &obs.Obs{
+		Metrics:        obs.NewMetrics(4),
+		Bus:            obs.NewBus(),
+		Trace:          obs.NewTracer(1, 4),
+		DeliverySample: 1,
+	}
+	sub := o.Bus.Subscribe(2) // starved: nearly everything drops
+	res, err := Run(s, Options{Workers: 4, Obs: o})
+	sub.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash != base.Hash {
+		t.Fatalf("obs-on delivery hash %x != obs-off %x", res.Hash, base.Hash)
+	}
+	if res.Violations() != 0 {
+		t.Fatalf("obs-on run violated the audit: %d mixed, %d dropped", res.Mixed, res.Dropped)
+	}
+	if got := o.Metrics.Counter(obs.CtrChaosRuns); got != 1 {
+		t.Fatalf("CtrChaosRuns = %d, want 1", got)
+	}
+	if got := o.Metrics.Counter(obs.CtrChaosAudited); got != int64(res.Audited) {
+		t.Fatalf("CtrChaosAudited = %d, want %d", got, res.Audited)
+	}
+	if o.Metrics.Counter(obs.CtrChaosMixed) != 0 || o.Metrics.Counter(obs.CtrChaosDropped) != 0 {
+		t.Fatal("violation counters non-zero on a clean run")
+	}
+	if o.Metrics.Counter(obs.CtrDeliveries) != int64(res.Audited) {
+		t.Fatalf("CtrDeliveries = %d, audit saw %d", o.Metrics.Counter(obs.CtrDeliveries), res.Audited)
+	}
+}

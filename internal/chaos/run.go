@@ -10,6 +10,7 @@ import (
 	"eventnet/internal/ets"
 	"eventnet/internal/netkat"
 	"eventnet/internal/nes"
+	"eventnet/internal/obs"
 	"eventnet/internal/stateful"
 	"eventnet/internal/topo"
 )
@@ -27,6 +28,23 @@ type Options struct {
 	// engine default). Chunking must be unobservable in the delivery
 	// sequence; the torture tests randomize it per run.
 	ChunkGens int
+	// Obs, when non-nil, is threaded into the engine under test (the
+	// audit must pass with full telemetry attached) and receives the
+	// run's audit counters: CtrChaosRuns, CtrChaosAudited, CtrChaosMixed,
+	// CtrChaosDropped.
+	Obs *obs.Obs
+}
+
+// record folds a finished run's audit outcome into the metrics layer.
+func (o Options) record(res *Result) {
+	if o.Obs == nil || o.Obs.Metrics == nil {
+		return
+	}
+	m := o.Obs.Metrics
+	m.Inc(obs.CtrChaosRuns)
+	m.Add(obs.CtrChaosAudited, int64(res.Audited))
+	m.Add(obs.CtrChaosMixed, int64(res.Mixed))
+	m.Add(obs.CtrChaosDropped, int64(res.Dropped))
 }
 
 // Result is the outcome of one chaos run. Mixed and Dropped are the two
@@ -104,7 +122,7 @@ func Run(s Schedule, o Options) (*Result, error) {
 	if workers <= 0 {
 		workers = 1
 	}
-	e := dataplane.NewEngine(progs[0].n, sc.tp, dataplane.Options{Workers: workers, Mode: o.Mode, ChunkGens: o.ChunkGens})
+	e := dataplane.NewEngine(progs[0].n, sc.tp, dataplane.Options{Workers: workers, Mode: o.Mode, ChunkGens: o.ChunkGens, Obs: o.Obs})
 
 	// Two independent traffic streams derived from the schedule seed: one
 	// for injection contents, one for arrival (batch-size) draws. The
@@ -242,6 +260,7 @@ func Run(s Schedule, o Options) (*Result, error) {
 	res.Audited = len(ds)
 	res.Hops = e.Processed()
 	res.Hash = deliveryHash(ds)
+	o.record(res)
 	return res, nil
 }
 

@@ -27,7 +27,7 @@ func RunServed(s Schedule, o Options) (*Result, error) {
 	if workers <= 0 {
 		workers = 2
 	}
-	c := ctrl.New(sc.tp, ctrl.Options{Workers: workers, Mode: o.Mode, ChunkGens: o.ChunkGens})
+	c := ctrl.New(sc.tp, ctrl.Options{Workers: workers, Mode: o.Mode, ChunkGens: o.ChunkGens, Obs: o.Obs})
 	defer c.Close()
 	if err := c.Load(sc.progs[0].Name, sc.progs[0].Prog); err != nil {
 		return nil, err
@@ -147,5 +147,6 @@ func RunServed(s Schedule, o Options) (*Result, error) {
 	res.Audited = len(ds)
 	res.Hops = e.Snapshot().Processed
 	res.Hash = deliveryHash(ds)
+	o.record(res)
 	return res, nil
 }

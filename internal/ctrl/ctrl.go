@@ -35,6 +35,7 @@ import (
 	"eventnet/internal/nes"
 	"eventnet/internal/netkat"
 	"eventnet/internal/nkc"
+	"eventnet/internal/obs"
 	"eventnet/internal/stateful"
 	"eventnet/internal/topo"
 )
@@ -59,6 +60,11 @@ type Options struct {
 	// edges and retirement is decided inside the chunk, at the
 	// generation that drained the last old-epoch packet.
 	ChunkGens int
+	// Obs, when non-nil, is threaded into the engine and also fed by the
+	// controller itself: compile timings and cache hit rates on fresh
+	// builds, swap "stage" phase events on the bus, program-count and
+	// store-size gauges. See docs/OBSERVABILITY.md.
+	Obs *obs.Obs
 }
 
 // Program is one compiled program generation.
@@ -141,6 +147,11 @@ type Controller struct {
 	// out of this window (or at Close), never while it might swap back in.
 	progs  []*Program
 	staged map[[2]*nes.NES]stagedTables
+
+	// swapStart is the wall time of the in-flight swap's StageSwap call,
+	// zero when none is draining. Health uses it to distinguish a healthy
+	// drain from a wedged one without an engine round trip.
+	swapStart time.Time
 }
 
 // stagedTables caches the phase-one merged install per program pair.
@@ -196,6 +207,20 @@ func (c *Controller) Compile(name string, p stateful.Program) (*Program, error) 
 		return nil, fmt.Errorf("ctrl: converting %s: %w", name, err)
 	}
 	g := &Program{Name: name, Prog: p, ETS: e, NES: n, Stats: stats, Compile: time.Since(start)}
+	if m := c.metrics(); m != nil {
+		// Memo hits above return before this point, so these record fresh
+		// builds only. stats.Cache hit/miss counters are already this
+		// build's deltas (ets.BuildWithOptions subtracts the pre-build
+		// snapshot); Strands/FDDNodes are absolute store sizes.
+		m.Inc(obs.CtrCompiles)
+		m.Observe(obs.HistCompileNs, g.Compile.Nanoseconds())
+		m.Add(obs.CtrCompileTableHits, stats.Cache.TableHits)
+		m.Add(obs.CtrCompileTableMisses, stats.Cache.TableMisses)
+		m.Add(obs.CtrCompileSegHits, stats.Cache.SegmentHits)
+		m.Add(obs.CtrCompileSegMisses, stats.Cache.SegmentMisses)
+		m.SetGauge(obs.GaugeFDDNodes, stats.Cache.FDDNodes)
+		m.SetGauge(obs.GaugeStrands, stats.Cache.Strands)
+	}
 	c.mu.Lock()
 	c.progs = append(c.progs, g)
 	for len(c.progs) > progMemoLimit {
@@ -240,6 +265,7 @@ func (c *Controller) Load(name string, p stateful.Program) error {
 		Mode:        c.opts.Mode,
 		DeliveryLog: c.opts.DeliveryLog,
 		ChunkGens:   c.opts.ChunkGens,
+		Obs:         c.opts.Obs,
 	})
 	c.eng.Start()
 	return nil
@@ -325,8 +351,21 @@ func (c *Controller) Swap(name string, p stateful.Program) (SwapReport, error) {
 	dataplane.PlanFor(np.NES)
 
 	mapping, mapped := EventMapping(old.NES, np.NES)
+	if b := c.bus(); b.Active() {
+		b.Publish(obs.Event{
+			Kind: obs.KindSwap, Phase: "stage",
+			Note:      old.Name + " -> " + name,
+			CompileMS: float64(np.Compile.Microseconds()) / 1000,
+		})
+	}
+	c.mu.Lock()
+	c.swapStart = time.Now()
+	c.mu.Unlock()
 	sw, err := eng.StageSwap(dataplane.SwapSpec{NES: np.NES, MapEvent: mapping})
 	if err != nil {
+		c.mu.Lock()
+		c.swapStart = time.Time{}
+		c.mu.Unlock()
 		return SwapReport{}, err
 	}
 	// The flip has happened: the engine's ingress program *is* np from
@@ -338,7 +377,18 @@ func (c *Controller) Swap(name string, p stateful.Program) (SwapReport, error) {
 	c.mu.Unlock()
 	select {
 	case <-sw.Done():
+		c.mu.Lock()
+		c.swapStart = time.Time{}
+		c.mu.Unlock()
 	case <-time.After(c.opts.SwapTimeout):
+		// Leave swapStart set — Health reports the wedge — but clear it if
+		// the drain does eventually finish.
+		go func() {
+			<-sw.Done()
+			c.mu.Lock()
+			c.swapStart = time.Time{}
+			c.mu.Unlock()
+		}()
 		return SwapReport{}, fmt.Errorf("ctrl: swap %s -> %s flipped but did not drain within %v", old.Name, name, c.opts.SwapTimeout)
 	}
 	st := sw.Stats()
@@ -464,6 +514,42 @@ func (c *Controller) engine() *dataplane.Engine {
 
 // Topology returns the controller's topology.
 func (c *Controller) Topology() *topo.Topology { return c.topo }
+
+func (c *Controller) metrics() *obs.Metrics {
+	if c.opts.Obs == nil {
+		return nil
+	}
+	return c.opts.Obs.Metrics
+}
+
+// bus returns the controller's event bus, possibly nil (Bus.Publish and
+// Bus.Active are nil-safe).
+func (c *Controller) bus() *obs.Bus {
+	if c.opts.Obs == nil {
+		return nil
+	}
+	return c.opts.Obs.Bus
+}
+
+// Health reports liveness without an engine barrier round trip, so it
+// stays truthful even when the engine is wedged: ok is false with a
+// reason when no program is loaded, the engine has stopped serving, or
+// an in-flight swap has been draining longer than SwapTimeout.
+func (c *Controller) Health() (bool, string) {
+	c.mu.Lock()
+	eng := c.eng
+	swapStart := c.swapStart
+	c.mu.Unlock()
+	switch {
+	case eng == nil:
+		return false, "no program loaded"
+	case !eng.Serving():
+		return false, "engine stopped"
+	case !swapStart.IsZero() && time.Since(swapStart) > c.opts.SwapTimeout:
+		return false, fmt.Sprintf("swap draining for %s (timeout %s)", time.Since(swapStart).Round(time.Millisecond), c.opts.SwapTimeout)
+	}
+	return true, "ok"
+}
 
 // Close stops the engine and releases every memoized generation's cached
 // plan. Idempotent; safe before Load.

@@ -1,0 +1,97 @@
+package ctrl_test
+
+import (
+	"testing"
+	"time"
+
+	"eventnet/internal/apps"
+	"eventnet/internal/ctrl"
+	"eventnet/internal/netkat"
+	"eventnet/internal/obs"
+)
+
+// TestControllerObsSwapPhases checks the controller-plus-engine phase
+// feed end to end: one hot swap publishes stage, then flip, then retire
+// (with optional drain events in between), and the controller records
+// compile metrics for each fresh build.
+func TestControllerObsSwapPhases(t *testing.T) {
+	fw := apps.Firewall()
+	o := &obs.Obs{Metrics: obs.NewMetrics(1), Bus: obs.NewBus()}
+	sub := o.Bus.Subscribe(256, obs.KindSwap)
+	c := ctrl.New(fw.Topo, ctrl.Options{Workers: 2, Obs: o})
+	defer c.Close()
+	if err := c.Load("firewall", fw.Prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Inject("H1", netkat.Packet{"dst": apps.H(4), "src": apps.H(1)}); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce()
+	capp := apps.BandwidthCap(3)
+	if _, err := c.Swap(capp.Name, capp.Prog); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce()
+	sub.Close()
+
+	var phases []string
+	for ev := range sub.C {
+		phases = append(phases, ev.Phase)
+	}
+	if len(phases) < 3 || phases[0] != "stage" {
+		t.Fatalf("swap phases = %v, want stage first", phases)
+	}
+	if phases[1] != "flip" || phases[len(phases)-1] != "retire" {
+		t.Fatalf("swap phases = %v, want stage, flip, ..., retire", phases)
+	}
+	for _, p := range phases[2 : len(phases)-1] {
+		if p != "drain" {
+			t.Fatalf("unexpected phase %q between flip and retire: %v", p, phases)
+		}
+	}
+
+	// Two fresh builds (firewall, cap) went through the compile pipeline.
+	if got := o.Metrics.Counter(obs.CtrCompiles); got != 2 {
+		t.Fatalf("CtrCompiles = %d, want 2", got)
+	}
+	if got := o.Metrics.HistCount(obs.HistCompileNs); got != 2 {
+		t.Fatalf("HistCompileNs count = %d, want 2", got)
+	}
+	lookups := o.Metrics.Counter(obs.CtrCompileTableHits) + o.Metrics.Counter(obs.CtrCompileTableMisses)
+	if lookups == 0 {
+		t.Fatal("no compile cache lookups recorded")
+	}
+	if o.Metrics.Gauge(obs.GaugeFDDNodes) == 0 {
+		t.Fatal("GaugeFDDNodes = 0 after two builds")
+	}
+
+	// Swapping back to the memoized firewall is an LRU hit: no new
+	// compile is recorded.
+	if _, err := c.Swap("firewall", fw.Prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Metrics.Counter(obs.CtrCompiles); got != 2 {
+		t.Fatalf("memo-hit swap recorded a compile: CtrCompiles = %d", got)
+	}
+}
+
+// TestControllerHealth pins the no-round-trip health probe across the
+// controller lifecycle: degraded before Load, healthy while serving,
+// degraded again once the engine stops.
+func TestControllerHealth(t *testing.T) {
+	fw := apps.Firewall()
+	c := ctrl.New(fw.Topo, ctrl.Options{Workers: 1, SwapTimeout: time.Second})
+	if ok, reason := c.Health(); ok || reason != "no program loaded" {
+		t.Fatalf("pre-Load Health = %v %q", ok, reason)
+	}
+	if err := c.Load("firewall", fw.Prog); err != nil {
+		t.Fatal(err)
+	}
+	if ok, reason := c.Health(); !ok {
+		t.Fatalf("serving controller unhealthy: %q", reason)
+	}
+	c.Close()
+	if ok, reason := c.Health(); ok || reason != "engine stopped" {
+		t.Fatalf("post-Close Health = %v %q", ok, reason)
+	}
+}

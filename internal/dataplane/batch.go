@@ -2,8 +2,10 @@ package dataplane
 
 import (
 	"fmt"
+	"time"
 
 	"eventnet/internal/nes"
+	"eventnet/internal/obs"
 )
 
 // Batched ingress: the per-packet Inject boundary (host resolution,
@@ -38,6 +40,13 @@ func (e *Engine) InjectBatch(ins []Injection) ([]Stamp, []error) {
 	cp := e.cur()
 	width := cp.schema.Len()
 	wk := e.ws[0]
+	var now int64
+	if e.met != nil {
+		// One clock read stamps the whole batch (they are admitted at one
+		// boundary anyway).
+		now = time.Now().UnixNano()
+		e.nowNs = now
+	}
 	for bi := range ins {
 		in := &ins[bi]
 		h, ok := e.hostBy[in.Host]
@@ -54,6 +63,13 @@ func (e *Engine) InjectBatch(ins []Injection) ([]Stamp, []error) {
 		e.seq++
 		vals := wk.takeVals(width)
 		pres, inert := cp.schema.intern(in.Fields, vals)
+		var tid int32
+		if e.met != nil {
+			wk.ms.Inc(obs.CtrInjections)
+		}
+		if e.tracer != nil {
+			tid = e.tracer.Sample(in.Host, e.seq, e.gen, st.Epoch, st.Version)
+		}
 		e.rings[i].push(&qpkt{
 			vals:    vals,
 			pres:    pres,
@@ -63,6 +79,8 @@ func (e *Engine) InjectBatch(ins []Injection) ([]Stamp, []error) {
 			version: st.Version,
 			digest:  nes.Empty,
 			seq:     e.seq,
+			tns:     now,
+			trace:   tid,
 		})
 		cp.inflight++
 		stamps[bi] = st

@@ -7,6 +7,7 @@ import (
 	"eventnet/internal/apps"
 	"eventnet/internal/dataplane"
 	"eventnet/internal/flowtable"
+	"eventnet/internal/obs"
 )
 
 // BenchmarkMatcherThroughput is the headline comparison: forwarding a
@@ -125,4 +126,58 @@ func BenchmarkEngineForwardSteady(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEngineForwardObs is the telemetry overhead gate: the exact
+// steady-state workload of BenchmarkEngineForwardSteady (one worker),
+// metrics-off vs the full observability layer — sharded metrics, 1/64
+// journey tracing, delivery sampling, and a live bus subscriber
+// draining the feed. CI compares the two ns/op and fails the build when
+// metrics-on exceeds metrics-off by more than 5% (docs/OBSERVABILITY.md
+// explains why the margin holds: all hot-path recording is plain stores
+// into per-worker shards, folded only at chunk barriers).
+func BenchmarkEngineForwardObs(b *testing.B) {
+	a := apps.BandwidthCap(40)
+	n := buildNES(b, a)
+	run := func(b *testing.B, o *obs.Obs) {
+		e := dataplane.NewEngine(n, a.Topo, dataplane.Options{Workers: 1, DeliveryLog: 1 << 14, Obs: o})
+		lg := dataplane.NewLoadGen(n, a.Topo, 13)
+		batch := lg.Injections(256)
+		round := func() {
+			if _, errs := e.InjectBatch(batch); errs != nil {
+				b.Fatal(errs)
+			}
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			round()
+		}
+		h0 := e.Processed()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			round()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(e.Processed()-h0)/float64(b.N), "hops/op")
+	}
+	b.Run("metrics-off", func(b *testing.B) { run(b, nil) })
+	b.Run("metrics-on", func(b *testing.B) {
+		o := &obs.Obs{
+			Metrics:        obs.NewMetrics(1),
+			Bus:            obs.NewBus(),
+			Trace:          obs.NewTracer(obs.DefaultSample, 1),
+			DeliverySample: 16,
+		}
+		sub := o.Bus.Subscribe(1024)
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for range sub.C {
+			}
+		}()
+		defer func() { sub.Close(); <-drained }()
+		run(b, o)
+	})
 }

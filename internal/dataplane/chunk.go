@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"eventnet/internal/obs"
 )
 
 // This file is the chunked generation machinery: how the engine runs
@@ -95,12 +98,13 @@ func (e *Engine) runChunk(budget int) int {
 		return e.chunkLead(budget)
 	}
 	e.ph.reset()
+	gen0 := e.gen
 	var wg sync.WaitGroup
 	for w := 1; w < e.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			e.chunkWorker(w)
+			e.chunkWorker(w, gen0)
 		}(w)
 	}
 	ran := e.chunkLead(budget)
@@ -129,9 +133,14 @@ func (e *Engine) chunkLead(budget int) int {
 	wk := e.ws[0]
 	solo := e.workers == 1
 	ran := 0
+	var t0 int64
+	if wk.ms != nil {
+		t0 = time.Now().UnixNano()
+	}
 	for {
 		e.gen++
 		ran++
+		wk.gen = e.gen
 		wk.beginGen()
 		for i := 0; i < len(e.switches); i += e.workers {
 			e.drain(wk, i)
@@ -153,6 +162,7 @@ func (e *Engine) chunkLead(budget int) int {
 				e.ph.stop.Store(true)
 				e.ph.release()
 			}
+			wk.foldChunkTime(t0)
 			return ran
 		}
 		e.beginGen()
@@ -162,11 +172,20 @@ func (e *Engine) chunkLead(budget int) int {
 	}
 }
 
-// chunkWorker is a non-lead worker's side of a chunk.
-func (e *Engine) chunkWorker(w int) {
+// chunkWorker is a non-lead worker's side of a chunk. gen0 is the
+// engine generation at chunk entry: each worker advances its own copy
+// (wk.gen) in lockstep with the lead's e.gen++, so trace records can
+// carry the generation without any worker reading e.gen mid-chunk.
+func (e *Engine) chunkWorker(w int, gen0 int64) {
 	wk := e.ws[w]
 	ticket := uint64(0)
+	var t0 int64
+	if wk.ms != nil {
+		t0 = time.Now().UnixNano()
+	}
 	for {
+		gen0++
+		wk.gen = gen0
 		wk.beginGen()
 		for i := w; i < len(e.switches); i += e.workers {
 			e.drain(wk, i)
@@ -175,6 +194,7 @@ func (e *Engine) chunkWorker(w int) {
 		e.genConsume(w)
 		ticket = e.ph.await(ticket) // consume done; wait for the tail
 		if e.ph.stop.Load() {
+			wk.foldChunkTime(t0)
 			return
 		}
 	}
@@ -244,6 +264,9 @@ func (e *Engine) genFinish() bool {
 		genHops += wk.processed
 		genDrained += wk.drained
 		e.dropped += wk.ttlDropped
+		if wk.ms != nil {
+			wk.chunkHops += wk.processed // folded by foldChunkTime at chunk exit
+		}
 		wk.processed, wk.drained, wk.ttlDropped = 0, 0, 0
 		for s := 0; s < 2; s++ {
 			if wk.pushN[s] != 0 {
@@ -259,6 +282,23 @@ func (e *Engine) genFinish() bool {
 	if e.swap != nil {
 		e.swap.s.stats.TransitionHops += genHops
 		e.swap.s.stats.DrainedHops += genDrained
+	}
+	// Serial metrics tail: plain stores into the lead's shard (the lead
+	// *is* worker 0, and every other worker is parked at the rendezvous),
+	// so the per-generation cost is a handful of array writes. The
+	// wall-clock cache refreshes every 8th generation — delivery-latency
+	// stamps trade that much resolution for keeping time.Now off the
+	// per-generation path (the log2 buckets absorb it).
+	if ms := e.ws[0].ms; ms != nil && genHops > 0 {
+		ms.Inc(obs.CtrGenerations)
+		ms.Add(obs.CtrHops, genHops)
+		ms.Observe(obs.HistGenOccupancy, genHops)
+		if genDrained != 0 {
+			ms.Add(obs.CtrDrainedHops, genDrained)
+		}
+		if e.gen&7 == 0 {
+			e.nowNs = time.Now().UnixNano()
+		}
 	}
 	e.retireIfDrained()
 	return e.genPushes > 0

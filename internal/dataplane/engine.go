@@ -9,6 +9,7 @@ import (
 
 	"eventnet/internal/nes"
 	"eventnet/internal/netkat"
+	"eventnet/internal/obs"
 	"eventnet/internal/topo"
 )
 
@@ -39,6 +40,8 @@ type qpkt struct {
 	seq     int64
 	branch  int32
 	hops    int32 // switch-hops taken so far (TTL against forwarding loops)
+	tns     int64 // injection timestamp (ns), 0 when metrics are off
+	trace   int32 // journey trace ID, 0 = untraced (see internal/obs)
 }
 
 // ring is a growable ring buffer of packets: each switch's ingress queue.
@@ -181,6 +184,25 @@ type worker struct {
 	drained    int64 // old-epoch hops during a transition
 	ttlDropped int64 // packets discarded by the hop TTL
 
+	// Observability state, nil/zero when the layer is off. ms and ts are
+	// this worker's private metric and trace shards (plain writes on the
+	// hop loop, folded at boundaries); detRing is the preallocated
+	// event-detection ring drained into the bus at boundaries; gen
+	// mirrors the engine generation for trace records (each worker
+	// advances its own copy inside a chunk, so no worker ever reads the
+	// engine's e.gen mid-chunk); chunkHops accumulates hops over a chunk
+	// for the per-chunk hop-latency fold; dlogFlushed is the
+	// delivery-sampling cursor into dlog.
+	ms          *obs.Shard
+	ts          *obs.TraceShard
+	swID        []int32 // switch index -> ID, shared immutable (trace records)
+	detRing     []detRec
+	detN        int
+	detDrops    int64
+	gen         int64
+	chunkHops   int64
+	dlogFlushed int
+
 	// pushE/pushN tally this worker's ring pushes by program epoch during
 	// the consume phase (at most two epochs are ever live); the serial
 	// generation tail folds them into per-epoch inflight counts.
@@ -277,6 +299,11 @@ type Options struct {
 	// the default (64). Chunking is unobservable in the delivery
 	// sequence; the torture tests randomize it to prove that.
 	ChunkGens int
+	// Obs attaches the observability layer (nil = fully off, zero cost).
+	// Hot-path recording is plain per-worker shard writes; folding, bus
+	// publication, and trace stitching happen at boundaries. Nothing in
+	// the layer can change the delivery sequence.
+	Obs *obs.Obs
 }
 
 // progState is one live program generation: its NES, its compiled plan
@@ -516,6 +543,21 @@ type Engine struct {
 	boundReq  atomic.Bool
 	ph        phaser
 
+	// Observability (all nil when Options.Obs was nil). nowNs is a
+	// coarse wall-clock cache for delivery-latency stamps: written only
+	// in serial phases (boundaries and every 8th generation tail), read
+	// by workers through the phaser's happens-before edges, so the hop
+	// loop never calls time.Now. lastPub holds the counter values of the
+	// previous stats-delta bus event.
+	eobs    *obs.Obs
+	met     *obs.Metrics
+	bus     *obs.Bus
+	tracer  *obs.Tracer
+	dsample int // publish every Nth delivery on the bus (0 = none)
+	nowNs   int64
+	dcount  int64 // deliveries seen by the boundary sampler
+	lastPub [obsDeltaCounters]int64
+
 	// Served-mode coordination. wmu guards inbox, ctl, serving, stopping
 	// and idle; cond (on wmu) wakes the supervisor and Quiesce/waiters.
 	wmu      sync.Mutex
@@ -606,7 +648,44 @@ func NewEngine(n *nes.NES, t *topo.Topology, opts Options) *Engine {
 	if e.chunkGens <= 0 {
 		e.chunkGens = defaultChunkGens
 	}
+	if opts.Obs.Enabled() {
+		e.attachObs(opts.Obs)
+	}
 	return e
+}
+
+// attachObs wires the observability layer: every worker gets its
+// preallocated metric shard, trace ring, and detection ring up front, so
+// nothing on the hot path ever allocates observability state.
+func (e *Engine) attachObs(o *obs.Obs) {
+	e.eobs = o
+	e.met = o.Metrics
+	e.bus = o.Bus
+	e.tracer = o.Trace
+	e.dsample = o.DeliverySample
+	if e.met != nil {
+		e.met.EnsureShards(e.workers)
+	}
+	if e.tracer != nil {
+		e.tracer.EnsureShards(e.workers)
+	}
+	swID := make([]int32, len(e.switches))
+	for i, sw := range e.switches {
+		swID[i] = int32(sw)
+	}
+	for i, wk := range e.ws {
+		wk.swID = swID
+		if e.met != nil {
+			wk.ms = e.met.Shard(i)
+		}
+		if e.tracer != nil {
+			wk.ts = e.tracer.Shard(i)
+		}
+		if e.bus != nil {
+			wk.detRing = make([]detRec, detRingCap)
+		}
+	}
+	e.nowNs = time.Now().UnixNano()
 }
 
 // cur returns the program current for ingress stamping.
@@ -665,6 +744,16 @@ func (e *Engine) InjectStamped(host string, fields netkat.Packet) (Stamp, error)
 	// instead of growing a free list forever.
 	vals := e.ws[0].takeVals(cp.schema.Len())
 	pres, inert := cp.schema.intern(fields, vals)
+	var tns int64
+	var tid int32
+	if e.met != nil {
+		e.ws[0].ms.Inc(obs.CtrInjections)
+		tns = time.Now().UnixNano()
+		e.nowNs = tns
+	}
+	if e.tracer != nil {
+		tid = e.tracer.Sample(host, e.seq, e.gen, st.Epoch, st.Version)
+	}
 	e.rings[i].push(&qpkt{
 		vals:    vals,
 		pres:    pres,
@@ -674,6 +763,8 @@ func (e *Engine) InjectStamped(host string, fields netkat.Packet) (Stamp, error)
 		version: st.Version,
 		digest:  nes.Empty,
 		seq:     e.seq,
+		tns:     tns,
+		trace:   tid,
 	})
 	cp.inflight++
 	return st, nil
@@ -755,6 +846,9 @@ func (e *Engine) boundary() {
 			e.mergeDeliveries()
 		}
 	}
+	if e.eobs != nil {
+		e.flushObs()
+	}
 }
 
 // runControl executes queued control closures.
@@ -802,6 +896,18 @@ func (e *Engine) retireIfDrained() {
 	s.stats.RetiredAt = time.Now()
 	s.stats.RetireGen = e.gen
 	e.swap = nil
+	if e.met != nil {
+		e.met.Inc(obs.CtrSwapRetires)
+		e.met.Observe(obs.HistSwapDrainNs, s.stats.RetiredAt.Sub(s.stats.FlipAt).Nanoseconds())
+		e.met.SetGauge(obs.GaugeSwapDraining, 0)
+	}
+	if e.bus != nil {
+		e.bus.Publish(obs.Event{
+			Kind: obs.KindSwap, Phase: "retire",
+			To: e.cur().epoch, Gen: e.gen, Epoch: e.cur().epoch,
+			Inflight: s.stats.DrainedHops,
+		})
+	}
 	close(s.done)
 }
 
@@ -813,6 +919,12 @@ func (e *Engine) retireIfDrained() {
 // the packet's value array — steady state, the loop allocates nothing.
 func (e *Engine) drain(wk *worker, i int) {
 	r := e.rings[i]
+	if r.len() == 0 {
+		return
+	}
+	if wk.ms != nil {
+		wk.ms.Observe(obs.HistQueueDepth, int64(r.len()))
+	}
 	oldEpoch := -1
 	var newPS *progState
 	if e.swap != nil && len(e.progs) == 2 {
@@ -836,6 +948,12 @@ func (e *Engine) drain(wk *worker, i int) {
 func (e *Engine) hop(wk *worker, i int, dests []portDest, p *qpkt, oldEpoch int, newPS *progState) {
 	if p.hops >= maxPacketHops {
 		wk.ttlDropped++
+		if wk.ms != nil {
+			wk.ms.Inc(obs.CtrTTLDrops)
+		}
+		if p.trace != 0 {
+			wk.traceRec(p, i, obs.HopTTLDrop, -1, 0, "")
+		}
 		wk.recycle(p.vals)
 		return // forwarding loop: discard (see maxPacketHops)
 	}
@@ -846,6 +964,9 @@ func (e *Engine) hop(wk *worker, i int, dests []portDest, p *qpkt, oldEpoch int,
 	if ps == nil || p.epoch != wk.curEpoch {
 		ps = e.prog(p.epoch)
 		if ps == nil {
+			if p.trace != 0 {
+				wk.traceRec(p, i, obs.HopStale, -1, 0, "")
+			}
 			wk.recycle(p.vals)
 			return // stamped by a retired epoch; cannot happen post-drain
 		}
@@ -859,6 +980,25 @@ func (e *Engine) hop(wk *worker, i int, dests []portDest, p *qpkt, oldEpoch int,
 	newly := ps.detect(i, p.inPort, p.vals, p.pres, known)
 	ps.views[i] = known.Union(newly)
 	outDigest := p.digest.Union(view).Union(newly)
+	if newly != nes.Empty {
+		// Detection is rare; both records are plain stores, drained at
+		// the next boundary.
+		if wk.ms != nil {
+			wk.ms.Add(obs.CtrEventsFired, int64(newly.Count()))
+		}
+		if wk.detRing != nil {
+			if wk.detN < len(wk.detRing) {
+				wk.detRing[wk.detN] = detRec{
+					sw: int32(e.switches[i]), epoch: int32(p.epoch),
+					version: int32(p.version), seq: p.seq, gen: wk.gen,
+					events: newly,
+				}
+				wk.detN++
+			} else {
+				wk.detDrops++
+			}
+		}
+	}
 
 	// Live knowledge transfer during a transition: an event the old
 	// program detects at this switch is admitted into the *new*
@@ -879,11 +1019,23 @@ func (e *Engine) hop(wk *worker, i int, dests []portDest, p *qpkt, oldEpoch int,
 	// Forward with the packet's tagged configuration of its epoch.
 	ft := ps.flat[p.version][i]
 	if ft == nil {
+		if wk.ms != nil {
+			wk.ms.Inc(obs.CtrRuleDrops)
+		}
+		if p.trace != 0 {
+			wk.traceRec(p, i, obs.HopStale, -1, 0, "")
+		}
 		wk.recycle(p.vals)
 		return
 	}
 	ri := ft.lookup(p.vals, p.pres, p.inPort, 0)
 	if ri < 0 {
+		if wk.ms != nil {
+			wk.ms.Inc(obs.CtrRuleDrops)
+		}
+		if p.trace != 0 {
+			wk.traceRec(p, i, obs.HopRuleDrop, -1, 0, "")
+		}
 		wk.recycle(p.vals)
 		return // default drop
 	}
@@ -898,9 +1050,16 @@ func (e *Engine) hop(wk *worker, i int, dests []portDest, p *qpkt, oldEpoch int,
 		}
 	}
 	if last < 0 {
+		if wk.ms != nil {
+			wk.ms.Inc(obs.CtrRuleDrops)
+		}
+		if p.trace != 0 {
+			wk.traceRec(p, i, obs.HopRuleDrop, ri, 0, "")
+		}
 		wk.recycle(p.vals)
 		return // drop, or every copy leaves the modeled network
 	}
+	outStart := len(wk.outbox)
 	for gi := 0; gi <= last; gi++ {
 		g := &groups[gi]
 		pt := int(g.outPort)
@@ -933,6 +1092,15 @@ func (e *Engine) hop(wk *worker, i int, dests []portDest, p *qpkt, oldEpoch int,
 				seq:    p.seq,
 				branch: int32(gi),
 			})
+			if wk.ms != nil {
+				wk.ms.Inc(obs.CtrDeliveries)
+				if p.tns != 0 {
+					wk.ms.Observe(obs.HistDeliveryNs, e.nowNs-p.tns)
+				}
+			}
+			if p.trace != 0 {
+				wk.traceRecB(p, i, obs.HopDeliver, ri, 0, int32(gi), d.host)
+			}
 			continue
 		}
 		wk.outbox = append(wk.outbox, outEntry{dst: d.idx, pkt: qpkt{
@@ -946,8 +1114,33 @@ func (e *Engine) hop(wk *worker, i int, dests []portDest, p *qpkt, oldEpoch int,
 			seq:     p.seq,
 			branch:  int32(gi),
 			hops:    p.hops + 1,
+			tns:     p.tns,
+			trace:   p.trace,
 		}})
 	}
+	if p.trace != 0 {
+		wk.traceRec(p, i, obs.HopForward, ri, int32(len(wk.outbox)-outStart), "")
+	}
+}
+
+// traceRec appends one trace record for the packet being consumed at
+// switch index i (the record's Branch is the packet's own branch).
+func (wk *worker) traceRec(p *qpkt, i int, kind obs.HopKind, rank int32, out int32, host string) {
+	wk.traceRecB(p, i, kind, rank, out, p.branch, host)
+}
+
+// traceRecB is traceRec with an explicit branch (deliver records carry
+// the emitting group index instead of the packet's branch). The switch
+// index is translated to its ID through the worker's engine-shared
+// switches slice at flush-readability cost zero: the slice is immutable
+// after construction.
+func (wk *worker) traceRecB(p *qpkt, i int, kind obs.HopKind, rank int32, out, branch int32, host string) {
+	wk.ts.Add(obs.HopRec{
+		Trace: p.trace, Kind: kind, Switch: wk.swID[i], InPort: int32(p.inPort),
+		Rank: rank, Out: out, Branch: branch,
+		Epoch: int32(p.epoch), Version: int32(p.version),
+		Gen: wk.gen, Seq: p.seq, Host: host,
+	})
 }
 
 // mapEvents maps an old-program event set through a MapEvent table.
@@ -1010,7 +1203,24 @@ func (e *Engine) flip(spec SwapSpec, s *Swap) error {
 	s.stats.FlipAt = time.Now()
 	s.stats.FlipGen = e.gen
 	s.stats.CarriedEvents = carried
+	if e.met != nil {
+		e.met.Inc(obs.CtrSwapFlips)
+		e.met.SetGauge(obs.GaugeSwapDraining, 1)
+	}
+	if e.bus != nil {
+		e.bus.Publish(obs.Event{
+			Kind: obs.KindSwap, Phase: "flip",
+			From: old.epoch, To: np.epoch, Gen: e.gen, Epoch: np.epoch,
+		})
+	}
 	e.retireIfDrained() // nothing in flight: flip and retire at one barrier
+	if e.swap != nil && e.bus != nil {
+		e.bus.Publish(obs.Event{
+			Kind: obs.KindSwap, Phase: "drain",
+			From: old.epoch, To: np.epoch, Gen: e.gen, Epoch: np.epoch,
+			Inflight: old.inflight,
+		})
+	}
 	return nil
 }
 
@@ -1224,6 +1434,9 @@ func (e *Engine) mergeDeliveries() {
 	if n == 0 {
 		return
 	}
+	if e.eobs != nil {
+		e.flushDeliverySamples() // the sampler's dlog cursors reset below
+	}
 	start := len(e.deliveries)
 	for _, wk := range e.ws {
 		e.deliveries = append(e.deliveries, wk.dlog...)
@@ -1231,6 +1444,7 @@ func (e *Engine) mergeDeliveries() {
 			wk.dlog[i] = flatDelivery{} // release references
 		}
 		wk.dlog = wk.dlog[:0]
+		wk.dlogFlushed = 0
 	}
 	tail := e.deliveries[start:]
 	// (parent seq, branch) keys are unique per delivery, so the unstable
@@ -1306,6 +1520,15 @@ func (e *Engine) View(sw int) nes.Set { return e.cur().views[e.swIdx[sw]] }
 
 // Epoch returns the current ingress program epoch.
 func (e *Engine) Epoch() int { return e.cur().epoch }
+
+// Serving reports whether the supervisor goroutine is running. Unlike
+// Snapshot it never does a barrier round trip, so it stays answerable
+// even when the engine is wedged — health checks depend on that.
+func (e *Engine) Serving() bool {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	return e.serving
+}
 
 // Processed returns how many switch-hops the engine has executed — the
 // numerator of a packets/sec measurement.

@@ -20,6 +20,13 @@ import (
 // the property BenchmarkEngineHopLoop measures and
 // TestEngineHopLoopZeroAlloc pins.
 func loopEngine(tb testing.TB) (*Engine, netkat.Packet) {
+	return loopEngineOpts(tb, Options{Workers: 1})
+}
+
+// loopEngineOpts is loopEngine with caller-chosen engine options — the
+// observability alloc guard attaches metrics and tracing to the same
+// workload.
+func loopEngineOpts(tb testing.TB, opts Options) (*Engine, netkat.Packet) {
 	tb.Helper()
 	t := topo.New()
 	loc := func(sw, pt int) netkat.Location { return netkat.Location{Switch: sw, Port: pt} }
@@ -50,7 +57,7 @@ func loopEngine(tb testing.TB) (*Engine, netkat.Packet) {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	return NewEngine(n, t, Options{Workers: 1}), netkat.Packet{"dst": 99}
+	return NewEngine(n, t, opts), netkat.Packet{"dst": 99}
 }
 
 // BenchmarkEngineHopLoop measures the engine's steady-state hop loop in

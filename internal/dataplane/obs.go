@@ -1,0 +1,176 @@
+package dataplane
+
+import (
+	"time"
+
+	"eventnet/internal/nes"
+	"eventnet/internal/obs"
+)
+
+// Boundary-time observability: everything here runs in serial engine
+// contexts (boundary(), Do closures, the generation tail), where
+// workers are quiescent and allocation is fine. The hop loop's only
+// observability work is the plain shard stores in hop/drain; this file
+// is where those shards are folded, the bus is fed, and journeys are
+// stitched.
+
+// detRec is one event detection captured on the hop loop for the bus: a
+// plain struct store into the worker's preallocated ring (nes.Set is a
+// string, so the copy does not allocate).
+type detRec struct {
+	sw      int32
+	epoch   int32
+	version int32
+	seq     int64
+	gen     int64
+	events  nes.Set
+}
+
+// detRingCap bounds each worker's per-boundary detection ring;
+// overflow is counted and folded into the bus drop counter.
+const detRingCap = 256
+
+// obsDeltaCounters is the number of counters tracked for stats-delta
+// bus events; deltaCtrs names them in StatsDelta field order.
+const obsDeltaCounters = 8
+
+var deltaCtrs = [obsDeltaCounters]obs.Counter{
+	obs.CtrGenerations, obs.CtrHops, obs.CtrInjections, obs.CtrDeliveries,
+	obs.CtrRuleDrops, obs.CtrTTLDrops, obs.CtrEventsFired, obs.CtrDrainedHops,
+}
+
+// flushObs is the boundary fold: publish shard deltas into the metrics
+// atomics, refresh gauges, drain detection rings and delivery samples
+// onto the bus, stitch and emit completed journeys, and publish a stats
+// delta when anything moved. Serial context only.
+func (e *Engine) flushObs() {
+	if e.met != nil {
+		e.met.Fold()
+		e.met.SetGauge(obs.GaugePending, int64(e.pending()))
+		e.met.SetGauge(obs.GaugeEpoch, int64(e.cur().epoch))
+		e.met.SetGauge(obs.GaugePrograms, int64(len(e.progs)))
+		dl := len(e.deliveries)
+		for _, wk := range e.ws {
+			dl += len(wk.dlog)
+		}
+		e.met.SetGauge(obs.GaugeDeliveryLog, int64(dl))
+		e.nowNs = time.Now().UnixNano()
+	}
+	if e.bus != nil {
+		for _, wk := range e.ws {
+			for i := 0; i < wk.detN; i++ {
+				r := &wk.detRing[i]
+				e.bus.Publish(obs.Event{
+					Kind: obs.KindEvent, Gen: r.gen,
+					Epoch: int(r.epoch), Version: int(r.version),
+					Switch: int(r.sw), PacketSeq: r.seq,
+					Events: r.events.Elems(),
+				})
+			}
+			wk.detN = 0
+			if wk.detDrops != 0 {
+				e.bus.CountDropped(wk.detDrops)
+				wk.detDrops = 0
+			}
+		}
+	}
+	e.flushDeliverySamples()
+	if e.tracer != nil {
+		done, drops := e.tracer.Flush(e.gen)
+		if e.met != nil {
+			if drops > 0 {
+				e.met.Add(obs.CtrTraceRecDrops, drops)
+			}
+			for _, j := range done {
+				e.met.Inc(obs.CtrTraces)
+				if j.Truncated {
+					e.met.Inc(obs.CtrTracesTruncated)
+				}
+			}
+		}
+		if e.bus != nil {
+			for _, j := range done {
+				e.bus.Publish(obs.Event{
+					Kind: obs.KindTrace, Gen: e.gen, Epoch: j.Epoch,
+					Trace: j,
+				})
+			}
+		}
+	}
+	if e.bus != nil && e.met != nil && e.bus.Active() {
+		var cur [obsDeltaCounters]int64
+		any := false
+		for i, c := range deltaCtrs {
+			cur[i] = e.met.Counter(c)
+			if cur[i] != e.lastPub[i] {
+				any = true
+			}
+		}
+		if any {
+			e.bus.Publish(obs.Event{
+				Kind: obs.KindStats, Gen: e.gen, Epoch: e.cur().epoch,
+				Stats: &obs.StatsDelta{
+					Generations: cur[0] - e.lastPub[0],
+					Hops:        cur[1] - e.lastPub[1],
+					Injections:  cur[2] - e.lastPub[2],
+					Deliveries:  cur[3] - e.lastPub[3],
+					RuleDrops:   cur[4] - e.lastPub[4],
+					TTLDrops:    cur[5] - e.lastPub[5],
+					Events:      cur[6] - e.lastPub[6],
+					DrainedHops: cur[7] - e.lastPub[7],
+					Pending:     e.met.Gauge(obs.GaugePending),
+					DeliveryLog: e.met.Gauge(obs.GaugeDeliveryLog),
+				},
+			})
+			e.lastPub = cur
+		}
+	}
+}
+
+// flushDeliverySamples publishes every Nth delivery (N =
+// Obs.DeliverySample, counted across the merged order of appearance)
+// from the per-worker log tails. It runs at boundaries and at the top
+// of mergeDeliveries — the cursors index into dlog, which the merge
+// resets — so every delivery is counted exactly once. Field maps are
+// materialized here, never on the hop loop.
+func (e *Engine) flushDeliverySamples() {
+	if e.bus == nil || e.dsample <= 0 {
+		for _, wk := range e.ws {
+			wk.dlogFlushed = len(wk.dlog)
+		}
+		return
+	}
+	active := e.bus.Active()
+	for _, wk := range e.ws {
+		for i := wk.dlogFlushed; i < len(wk.dlog); i++ {
+			e.dcount++
+			if active && e.dcount%int64(e.dsample) == 0 {
+				d := &wk.dlog[i]
+				e.bus.Publish(obs.Event{
+					Kind: obs.KindDelivery, Gen: e.gen,
+					Epoch: d.stamp.Epoch, Version: d.stamp.Version,
+					Host: d.host, PacketSeq: d.seq, Branch: d.branch,
+					Fields: map[string]int(d.schema.materialize(d.inert, d.vals, d.pres)),
+				})
+			}
+		}
+		wk.dlogFlushed = len(wk.dlog)
+	}
+}
+
+// foldChunkTime observes the chunk's amortized per-hop latency into the
+// worker's shard: one pair of clock reads per chunk (hundreds of hops),
+// not per hop, keeps the metrics-on overhead inside the CI gate.
+func (wk *worker) foldChunkTime(t0 int64) {
+	if wk.ms == nil {
+		return
+	}
+	if wk.chunkHops > 0 {
+		el := time.Now().UnixNano() - t0
+		if el < 0 {
+			el = 0
+		}
+		wk.ms.ObserveN(obs.HistHopNs, el/wk.chunkHops, wk.chunkHops)
+	}
+	wk.chunkHops = 0
+}

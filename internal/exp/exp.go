@@ -20,6 +20,7 @@ import (
 	"eventnet/internal/flowtable"
 	"eventnet/internal/nes"
 	"eventnet/internal/netkat"
+	"eventnet/internal/obs"
 	"eventnet/internal/optimize"
 	"eventnet/internal/sim"
 )
@@ -528,10 +529,16 @@ func TableCompileScale() *Table {
 // allocation-free, see BenchmarkEngineHopLoop). One row per application;
 // with -json this is the NDJSON throughput trajectory tracked across
 // PRs (docs/BENCHMARKS.md).
+//
+// The ns_hop_obs and obs_ratio columns repeat the engine leg with the
+// full observability layer attached — sharded metrics, 1/64 journey
+// tracing, and a live bus subscriber draining the feed — in the same
+// process on the same workload. obs_ratio = ns_hop_obs / ns_hop_engine
+// is the telemetry overhead CI gates at 1.05 (docs/OBSERVABILITY.md).
 func Throughput(probes int) *Table {
 	t := &Table{
 		Title:   "Dataplane throughput: compiled indexed matchers vs linear scan (merged tables), plus engine hop cost",
-		Columns: []string{"app", "rules", "pps_scan", "pps_indexed", "speedup", "ns_hop_engine", "allocs_hop_engine"},
+		Columns: []string{"app", "rules", "pps_scan", "pps_indexed", "speedup", "ns_hop_engine", "allocs_hop_engine", "ns_hop_obs", "obs_ratio"},
 	}
 	cases := apps.All()
 	cases = append(cases, apps.BandwidthCap(40), apps.BandwidthCap(200), apps.IDSFatTree(4))
@@ -576,46 +583,113 @@ func Throughput(probes int) *Table {
 		// Engine leg: inject a seeded workload round by round and run to
 		// quiescence; ns and heap allocations per switch-hop, measured
 		// over the whole run (ingress and egress boundaries included —
-		// that is the engine overhead this column exists to track).
-		eng := dataplane.NewEngine(n, a.Topo, dataplane.Options{Workers: 1})
-		elg := dataplane.NewLoadGen(n, a.Topo, 17)
-		batch := elg.Injections(256)
-		runBatch := func() {
-			if _, errs := eng.InjectBatch(batch); errs != nil {
-				for _, err := range errs {
-					if err != nil {
-						panic(err)
+		// that is the engine overhead this column exists to track). The
+		// same leg runs twice, bare and with full telemetry attached.
+		engineLeg := func(o *obs.Obs) (nsHop, allocsHop float64) {
+			eng := dataplane.NewEngine(n, a.Topo, dataplane.Options{Workers: 1, Obs: o})
+			elg := dataplane.NewLoadGen(n, a.Topo, 17)
+			batch := elg.Injections(256)
+			runBatch := func() {
+				if _, errs := eng.InjectBatch(batch); errs != nil {
+					for _, err := range errs {
+						if err != nil {
+							panic(err)
+						}
 					}
 				}
+				if err := eng.Run(); err != nil {
+					panic(err)
+				}
 			}
-			if err := eng.Run(); err != nil {
-				panic(err)
+			runBatch() // warm rings, plans, buffers
+			rounds := probes / (len(batch) * 16)
+			if rounds < 2 {
+				rounds = 2
 			}
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			h0 := eng.Processed()
+			start := time.Now()
+			for i := 0; i < rounds; i++ {
+				runBatch()
+			}
+			elapsed := time.Since(start)
+			hops := eng.Processed() - h0
+			runtime.ReadMemStats(&m1)
+			return float64(elapsed.Nanoseconds()) / float64(hops),
+				float64(m1.Mallocs-m0.Mallocs) / float64(hops)
 		}
-		runBatch() // warm rings, plans, buffers
-		rounds := probes / (len(batch) * 16)
-		if rounds < 2 {
-			rounds = 2
+		nsHop, allocsHop := engineLeg(nil)
+
+		// Telemetry leg: the netd defaults (metrics on, 1/64 tracing, a
+		// subscriber actively draining the feed).
+		o := &obs.Obs{
+			Metrics:        obs.NewMetrics(1),
+			Bus:            obs.NewBus(),
+			Trace:          obs.NewTracer(obs.DefaultSample, 1),
+			DeliverySample: 16,
 		}
-		var m0, m1 runtime.MemStats
-		runtime.ReadMemStats(&m0)
-		h0 := eng.Processed()
-		start := time.Now()
-		for i := 0; i < rounds; i++ {
-			runBatch()
-		}
-		elapsed := time.Since(start)
-		hops := eng.Processed() - h0
-		runtime.ReadMemStats(&m1)
-		nsHop := float64(elapsed.Nanoseconds()) / float64(hops)
-		allocsHop := float64(m1.Mallocs-m0.Mallocs) / float64(hops)
+		sub := o.Bus.Subscribe(1024)
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for range sub.C {
+			}
+		}()
+		nsHopObs, _ := engineLeg(o)
+		sub.Close()
+		<-drained
 
 		t.Rows = append(t.Rows, []string{
 			a.Name, fmt.Sprint(rules),
 			fmt.Sprintf("%.0f", ppsScan), fmt.Sprintf("%.0f", ppsIdx),
 			fmt.Sprintf("%.1f", ppsIdx/ppsScan),
 			fmt.Sprintf("%.1f", nsHop), fmt.Sprintf("%.2f", allocsHop),
+			fmt.Sprintf("%.1f", nsHopObs), fmt.Sprintf("%.3f", nsHopObs/nsHop),
 		})
+	}
+	return t
+}
+
+// Trace demonstrates sampled packet journey tracing: a seeded workload
+// runs with every packet traced, and each sampled journey is flattened
+// to one row per hop record — the exact canonical order the engine
+// stitches at merge time. `experiments -only trace` prints it; the same
+// records stream live on netd's /watch feed (docs/OBSERVABILITY.md).
+func Trace(packets int) *Table {
+	t := &Table{
+		Title:   "Sampled packet journeys (firewall, every injection traced)",
+		Columns: []string{"trace", "inject_host", "gen", "seq", "kind", "switch", "rank", "out", "to_host"},
+	}
+	a := apps.Firewall()
+	n, err := BuildNES(a)
+	if err != nil {
+		panic(err)
+	}
+	o := &obs.Obs{Metrics: obs.NewMetrics(2), Bus: obs.NewBus(), Trace: obs.NewTracer(1, 2)}
+	sub := o.Bus.Subscribe(4096, obs.KindTrace)
+	eng := dataplane.NewEngine(n, a.Topo, dataplane.Options{Workers: 2, Obs: o})
+	lg := dataplane.NewLoadGen(n, a.Topo, 23)
+	for _, in := range lg.Injections(packets) {
+		if err := eng.Inject(in.Host, in.Fields); err != nil {
+			panic(err)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	sub.Close()
+	for ev := range sub.C {
+		j := ev.Trace
+		if j == nil {
+			continue
+		}
+		for _, h := range j.Hops {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(j.ID), j.Host, fmt.Sprint(h.Gen), fmt.Sprint(h.Seq),
+				h.Kind, fmt.Sprint(h.Switch), fmt.Sprint(h.Rank), fmt.Sprint(h.Out), h.Host,
+			})
+		}
 	}
 	return t
 }

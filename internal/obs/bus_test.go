@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBusPublishOrderAndFilter(t *testing.T) {
+	b := NewBus()
+	all := b.Subscribe(16)
+	swaps := b.Subscribe(16, KindSwap)
+	b.Publish(Event{Kind: KindStats})
+	b.Publish(Event{Kind: KindSwap, Phase: "flip"})
+	b.Publish(Event{Kind: KindDelivery})
+	all.Close()
+	swaps.Close()
+	var kinds []string
+	var seqs []int64
+	for ev := range all.C {
+		kinds = append(kinds, ev.Kind)
+		seqs = append(seqs, ev.Seq)
+	}
+	if len(kinds) != 3 || kinds[0] != KindStats || kinds[1] != KindSwap || kinds[2] != KindDelivery {
+		t.Fatalf("unfiltered subscriber got %v", kinds)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("seqs not increasing: %v", seqs)
+		}
+	}
+	var got []string
+	for ev := range swaps.C {
+		got = append(got, ev.Kind)
+	}
+	if len(got) != 1 || got[0] != KindSwap {
+		t.Fatalf("kind-filtered subscriber got %v", got)
+	}
+}
+
+func TestBusSlowConsumerDropsWithoutBlocking(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe(2) // tiny buffer, nobody reading
+	for i := 0; i < 100; i++ {
+		b.Publish(Event{Kind: KindStats}) // must never block
+	}
+	if got := s.Dropped(); got != 98 {
+		t.Fatalf("subscriber dropped %d, want 98", got)
+	}
+	if got := b.Dropped(); got != 98 {
+		t.Fatalf("bus-wide dropped %d, want 98", got)
+	}
+	// The buffered events are still readable.
+	s.Close()
+	n := 0
+	for range s.C {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("read %d buffered events, want 2", n)
+	}
+}
+
+func TestBusCloseConcurrentWithPublish(t *testing.T) {
+	b := NewBus()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				b.Publish(Event{Kind: KindStats})
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		s := b.Subscribe(4)
+		go func() {
+			for range s.C {
+			}
+		}()
+		s.Close()
+	}
+	wg.Wait()
+	if b.Subscribers() != 0 {
+		t.Fatalf("%d subscribers left after closing all", b.Subscribers())
+	}
+	s := b.Subscribe(1)
+	if !b.Active() {
+		t.Fatal("bus with a subscriber reports inactive")
+	}
+	s.Close()
+	s.Close() // double close must be safe
+	if b.Active() {
+		t.Fatal("bus with no subscribers reports active")
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import "testing"
+
+func TestTracerSamplingCadence(t *testing.T) {
+	tr := NewTracer(4, 1)
+	var ids []int32
+	for i := 0; i < 16; i++ {
+		if id := tr.Sample("H1", int64(i), 0, 0, 0); id != 0 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) != 4 {
+		t.Fatalf("sampled %d of 16 at rate 1/4, want 4", len(ids))
+	}
+	for i, id := range ids {
+		if id != int32(i+1) {
+			t.Fatalf("trace IDs not dense: %v", ids)
+		}
+	}
+}
+
+// TestTracerStitchFanOut drives a fan-out journey through the active
+// count: one injection forwards into two copies, one is delivered, one
+// is dropped — the journey completes exactly when both are consumed.
+func TestTracerStitchFanOut(t *testing.T) {
+	tr := NewTracer(1, 2)
+	id := tr.Sample("H1", 1, 0, 0, 0)
+	if id == 0 {
+		t.Fatal("rate-1 tracer declined to sample")
+	}
+	// Hop 1 (worker 0): consume seq 1, emit 2 copies.
+	tr.Shard(0).Add(HopRec{Trace: id, Kind: HopForward, Switch: 1, Rank: 0, Out: 2, Gen: 1, Seq: 1})
+	done, drops := tr.Flush(1)
+	if len(done) != 0 || drops != 0 {
+		t.Fatalf("journey completed early: %v", done)
+	}
+	// Hop 2, split across workers: copy seq 2 delivered (consuming rec
+	// Out=0 plus an informational deliver rec), copy seq 3 dropped.
+	tr.Shard(1).Add(HopRec{Trace: id, Kind: HopForward, Switch: 2, Rank: 1, Out: 0, Gen: 2, Seq: 2})
+	tr.Shard(1).Add(HopRec{Trace: id, Kind: HopDeliver, Switch: 2, Host: "H2", Gen: 2, Seq: 2})
+	tr.Shard(0).Add(HopRec{Trace: id, Kind: HopRuleDrop, Switch: 3, Rank: -1, Gen: 2, Seq: 3})
+	done, _ = tr.Flush(2)
+	if len(done) != 1 {
+		t.Fatalf("got %d journeys, want 1", len(done))
+	}
+	j := done[0]
+	if j.Truncated {
+		t.Fatal("converged journey marked truncated")
+	}
+	if len(j.Hops) != 4 {
+		t.Fatalf("journey has %d hops, want 4", len(j.Hops))
+	}
+	// Canonical order: (gen, seq, kind, branch).
+	wantKinds := []string{"forward", "forward", "deliver", "drop"}
+	for i, h := range j.Hops {
+		if h.Kind != wantKinds[i] {
+			t.Fatalf("hop %d kind %q, want %q (%+v)", i, h.Kind, wantKinds[i], j.Hops)
+		}
+	}
+	if tr.Pending() != 0 {
+		t.Fatalf("%d journeys still pending", tr.Pending())
+	}
+}
+
+func TestTracerRingOverflowCountsAndAgesOut(t *testing.T) {
+	tr := NewTracer(1, 1)
+	id := tr.Sample("H1", 1, 0, 0, 0)
+	s := tr.Shard(0)
+	// Overflow the ring: capacity + 10 forward records that keep the
+	// journey alive.
+	for i := 0; i < traceRingCap+10; i++ {
+		s.Add(HopRec{Trace: id, Kind: HopForward, Out: 1, Gen: 1, Seq: int64(i + 1)})
+	}
+	done, drops := tr.Flush(1)
+	if drops != 10 {
+		t.Fatalf("recorded %d ring drops, want 10", drops)
+	}
+	if len(done) != 0 {
+		t.Fatal("journey with lost records converged")
+	}
+	// It never converges; the stale sweep evicts it as truncated.
+	done, _ = tr.Flush(1 + staleGens + 1)
+	if len(done) != 1 || !done[0].Truncated {
+		t.Fatalf("aged-out journey not emitted truncated: %v", done)
+	}
+}
+
+func TestTracerPendingBound(t *testing.T) {
+	tr := NewTracer(1, 1)
+	for i := 0; i < maxPending+50; i++ {
+		tr.Sample("H1", int64(i), 0, 0, 0)
+	}
+	if tr.Pending() != maxPending {
+		t.Fatalf("pending = %d, want capped at %d", tr.Pending(), maxPending)
+	}
+}
+
+func TestTraceShardAddDoesNotAllocate(t *testing.T) {
+	tr := NewTracer(1, 1)
+	s := tr.Shard(0)
+	rec := HopRec{Trace: 1, Kind: HopForward, Switch: 2, Out: 1, Gen: 3, Seq: 4, Host: "H1"}
+	if n := testing.AllocsPerRun(1000, func() { s.Add(rec); s.n = 0 }); n != 0 {
+		t.Fatalf("TraceShard.Add allocates %.3f times; want 0", n)
+	}
+}
