@@ -158,8 +158,15 @@ func main() {
 		if res.Violations != 0 {
 			fmt.Fprintf(os.Stderr, "experiments: chaos audit FAILED: %d violations over %d audited deliveries\n",
 				res.Violations, res.Audited)
-			for _, r := range res.Reproducers {
+			for i, r := range res.Reproducers {
 				fmt.Fprintf(os.Stderr, "reproducer: %s\n", r)
+				if i < len(res.FlightDumps) && res.FlightDumps[i] != nil {
+					d := res.FlightDumps[i]
+					path := fmt.Sprintf("chaos-flight-%d.json", i)
+					if b, err := json.Marshal(d); err == nil && os.WriteFile(path, b, 0o644) == nil {
+						fmt.Fprintf(os.Stderr, "flight dump: %s (%d records)\n", path, len(d.Records))
+					}
+				}
 			}
 			os.Exit(1)
 		}

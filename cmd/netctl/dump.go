@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"text/tabwriter"
+
+	"eventnet/internal/obs"
+)
+
+// getJSON fetches one endpoint and decodes the response into v.
+func getJSON(cl *http.Client, url string, v any) error {
+	resp, err := cl.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("GET %s: %s", url, e.Error)
+		}
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.Unmarshal(body, v)
+}
+
+// cmdStatus pretty-prints /status.
+func cmdStatus(cl *http.Client, base string, out io.Writer) error {
+	var raw json.RawMessage
+	if err := getJSON(cl, base+"/status", &raw); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		return err
+	}
+	buf.WriteByte('\n')
+	_, err := out.Write(buf.Bytes())
+	return err
+}
+
+// cmdStats prints /stats as sorted key-value lines (stable output for
+// operators diffing two invocations).
+func cmdStats(cl *http.Client, base string, out io.Writer) error {
+	var stats map[string]any
+	if err := getJSON(cl, base+"/stats", &stats); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	for _, k := range keys {
+		v := stats[k]
+		if f, ok := v.(float64); ok && f == float64(int64(f)) {
+			v = int64(f)
+		}
+		fmt.Fprintf(tw, "%s\t%v\n", k, v)
+	}
+	return tw.Flush()
+}
+
+// cmdDump fetches /debug/flight and renders the flight record: header
+// (capacity, truncation, evictions) then one line per record in the
+// canonical (gen, seq, kind, branch) order the daemon emits.
+func cmdDump(cl *http.Client, base string, out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "print the raw dump JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var d obs.FlightDump
+	if err := getJSON(cl, base+"/debug/flight", &d); err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&d)
+	}
+	fmt.Fprintf(out, "flight record: %d records, ring cap %d/worker, %d evicted\n",
+		len(d.Records), d.RingCap, d.Evicted)
+	if d.Truncated {
+		fmt.Fprintf(out, "TRUNCATED: history before gen %d was overwritten (rings overflowed)\n", d.TruncatedGen)
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "GEN\tSEQ\tKIND\tDETAIL")
+	for _, r := range d.Records {
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%s\n", r.Gen, r.Seq, r.Kind, flightDetail(r))
+	}
+	return tw.Flush()
+}
+
+// flightDetail renders the kind-specific half of one flight record.
+func flightDetail(r obs.FlightWireRec) string {
+	switch r.Kind {
+	case "deliver":
+		return fmt.Sprintf("sw=%d host=%s epoch=%d v=%d branch=%d", r.Switch, r.Host, r.Epoch, r.Version, r.Branch)
+	case "detect":
+		return fmt.Sprintf("sw=%d events=%v epoch=%d v=%d branch=%d", r.Switch, r.Events, r.Epoch, r.Version, r.Branch)
+	case "swap":
+		s := fmt.Sprintf("phase=%s", r.Phase)
+		if r.Phase == "flip" {
+			s += fmt.Sprintf(" from=%d to=%d", r.From, r.To)
+		} else if r.To != 0 || r.Phase == "retire" {
+			s += fmt.Sprintf(" to=%d", r.To)
+		}
+		return s + fmt.Sprintf(" epoch=%d", r.Epoch)
+	case "stats":
+		if r.Stats == nil {
+			return "(empty)"
+		}
+		return fmt.Sprintf("+gens=%d +hops=%d +deliv=%d +inj=%d +events=%d pending=%d",
+			r.Stats.Generations, r.Stats.Hops, r.Stats.Deliveries, r.Stats.Injections, r.Stats.Events, r.Stats.Pending)
+	}
+	return ""
+}

@@ -1,0 +1,104 @@
+// Command netctl is the operator CLI for a running netd: one binary
+// that answers "what is the daemon doing right now" without curl, jq,
+// or a metrics stack.
+//
+//	netctl [-addr URL] status            # program, epoch, swap history
+//	netctl [-addr URL] stats             # counters, uptime, build info
+//	netctl [-addr URL] top [-interval 2s] [-once] [-count N]
+//	                                     # refreshing rate + p50/p99 table
+//	                                     # from /metrics histogram deltas
+//	netctl [-addr URL] watch [-kinds a,b] [-n N] [-raw]
+//	                                     # tail the live event feed with
+//	                                     # reconnect + backoff
+//	netctl [-addr URL] trace [-n N]      # follow stitched packet journeys
+//	netctl [-addr URL] dump [-json]      # fetch + pretty-print the
+//	                                     # flight record (/debug/flight)
+//
+// top computes quantiles client-side from consecutive /metrics scrapes:
+// the daemon exports power-of-two cumulative buckets, netctl
+// de-cumulates them, subtracts the previous scrape, and interpolates
+// p50/p99 inside the winning bucket (obs.Histogram.Quantile) — so the
+// table shows the latency of the last interval, not the process
+// lifetime. watch exits 0 when the daemon announces shutdown (the
+// terminal {"kind":"shutdown"} event) and reconnects on any other
+// stream loss. See docs/OPS.md for the full runbook.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `netctl: operator CLI for netd
+
+usage: netctl [-addr URL] <command> [flags]
+
+commands:
+  status   program, epoch, swap history, engine snapshot
+  stats    engine counters, uptime, build and runtime info
+  top      refreshing rate and p50/p99 latency table from /metrics
+  watch    tail the /watch event feed (NDJSON) with reconnect
+  trace    follow stitched packet journeys
+  dump     fetch and pretty-print the flight record
+
+run "netctl <command> -h" for per-command flags
+`)
+}
+
+// normalizeAddr accepts ":8080", "host:8080" or a full URL.
+func normalizeAddr(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimRight(addr, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	return "http://" + strings.TrimRight(addr, "/")
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "netd base URL (\":8080\" and \"host:8080\" also accepted)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	base := normalizeAddr(*addr)
+	// One-shot requests get a deadline; the streaming commands must not
+	// (a tail is supposed to sit on the socket forever).
+	cl := &http.Client{Timeout: 30 * time.Second}
+	streamCl := &http.Client{}
+
+	var err error
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "status":
+		err = cmdStatus(cl, base, os.Stdout)
+	case "stats":
+		err = cmdStats(cl, base, os.Stdout)
+	case "top":
+		err = cmdTop(cl, base, os.Stdout, rest)
+	case "watch":
+		err = cmdWatch(streamCl, base, os.Stdout, rest)
+	case "trace":
+		err = cmdTrace(streamCl, base, os.Stdout, rest)
+	case "dump":
+		err = cmdDump(cl, base, os.Stdout, rest)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "netctl: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netctl:", err)
+		os.Exit(1)
+	}
+}

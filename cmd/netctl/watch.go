@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"eventnet/internal/obs"
+)
+
+// tailOptions configure one event-feed tail.
+type tailOptions struct {
+	kinds string // comma-separated kind filter, "" = all
+	limit int    // stop after this many events, 0 = unlimited
+	buf   int    // server-side subscriber buffer, 0 = server default
+	print func(out io.Writer, raw []byte, ev obs.Event) bool
+}
+
+// tail follows /watch, reconnecting with exponential backoff on any
+// stream loss. It returns nil when the limit is reached or the daemon
+// announces shutdown (the terminal {"kind":"shutdown"} event), and an
+// error only on a non-retryable response (4xx).
+func tail(cl *http.Client, base string, out io.Writer, o tailOptions) error {
+	q := url.Values{}
+	if o.kinds != "" {
+		q.Set("kinds", o.kinds)
+	}
+	if o.buf > 0 {
+		q.Set("buf", fmt.Sprint(o.buf))
+	}
+	target := base + "/watch"
+	if len(q) > 0 {
+		target += "?" + q.Encode()
+	}
+
+	const backoffMin, backoffMax = 500 * time.Millisecond, 10 * time.Second
+	backoff := backoffMin
+	seen := 0
+	for {
+		err := func() error {
+			resp, err := cl.Get(target)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return &fatalError{fmt.Errorf("GET /watch: %s", resp.Status)}
+			}
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+			for sc.Scan() {
+				line := sc.Bytes()
+				if len(line) == 0 {
+					continue
+				}
+				backoff = backoffMin // healthy stream: reset the backoff
+				var ev obs.Event
+				if err := json.Unmarshal(line, &ev); err != nil {
+					continue
+				}
+				if o.print(out, line, ev) {
+					seen++
+				}
+				if ev.Kind == obs.KindShutdown {
+					return &doneError{}
+				}
+				if o.limit > 0 && seen >= o.limit {
+					return &doneError{}
+				}
+			}
+			if err := sc.Err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("stream closed")
+		}()
+		switch err.(type) {
+		case *doneError:
+			return nil
+		case *fatalError:
+			return err.(*fatalError).err
+		}
+		fmt.Fprintf(out, "# disconnected (%v); reconnecting in %s\n", err, backoff)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}
+
+// doneError and fatalError thread tail's two exit reasons out of the
+// per-connection closure.
+type doneError struct{}
+
+func (*doneError) Error() string { return "done" }
+
+type fatalError struct{ err error }
+
+func (f *fatalError) Error() string { return f.err.Error() }
+
+// formatEvent renders one feed event as a single aligned line.
+func formatEvent(ev obs.Event) string {
+	switch ev.Kind {
+	case obs.KindDelivery:
+		return fmt.Sprintf("delivery  gen=%-6d host=%-4s epoch=%d v=%d fields=%s",
+			ev.Gen, ev.Host, ev.Epoch, ev.Version, fmtFields(ev.Fields))
+	case obs.KindEvent:
+		return fmt.Sprintf("event     gen=%-6d sw=%-3d events=%v epoch=%d v=%d",
+			ev.Gen, ev.Switch, ev.Events, ev.Epoch, ev.Version)
+	case obs.KindSwap:
+		s := fmt.Sprintf("swap      phase=%-7s from=%d to=%d", ev.Phase, ev.From, ev.To)
+		if ev.Inflight > 0 {
+			s += fmt.Sprintf(" inflight=%d", ev.Inflight)
+		}
+		if ev.CompileMS > 0 {
+			s += fmt.Sprintf(" compile_ms=%.1f", ev.CompileMS)
+		}
+		return s
+	case obs.KindStats:
+		if ev.Stats == nil {
+			return fmt.Sprintf("stats     gen=%-6d (empty)", ev.Gen)
+		}
+		return fmt.Sprintf("stats     gen=%-6d +hops=%d +deliv=%d +inj=%d +events=%d pending=%d",
+			ev.Gen, ev.Stats.Hops, ev.Stats.Deliveries, ev.Stats.Injections, ev.Stats.Events, ev.Stats.Pending)
+	case obs.KindTrace:
+		if ev.Trace == nil {
+			return fmt.Sprintf("trace     gen=%-6d (empty)", ev.Gen)
+		}
+		return fmt.Sprintf("trace     id=%-5d host=%-4s hops=%d truncated=%v",
+			ev.Trace.ID, ev.Trace.Host, len(ev.Trace.Hops), ev.Trace.Truncated)
+	case obs.KindAlert:
+		if ev.Alert == nil {
+			return fmt.Sprintf("alert     %s %s", ev.Phase, ev.Note)
+		}
+		return fmt.Sprintf("alert     %-5s %s value=%d threshold=%d since_gen=%d",
+			ev.Phase, ev.Alert.Name, ev.Alert.Value, ev.Alert.Threshold, ev.Alert.SinceGen)
+	case obs.KindShutdown:
+		return fmt.Sprintf("shutdown  %s (dropped=%d)", ev.Note, ev.Dropped)
+	case obs.KindMeta:
+		return fmt.Sprintf("meta      %s dropped=%d", ev.Note, ev.Dropped)
+	}
+	return fmt.Sprintf("%-9s gen=%d", ev.Kind, ev.Gen)
+}
+
+// fmtFields renders a packet's fields deterministically (maps iterate
+// in random order; operators diff these lines).
+func fmtFields(f map[string]int) string {
+	if len(f) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, f[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// cmdWatch tails the event feed.
+func cmdWatch(cl *http.Client, base string, out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	kinds := fs.String("kinds", "", "comma-separated event kinds (delivery,event,swap,stats,trace,alert,meta)")
+	limit := fs.Int("n", 0, "stop after N events (0 = until shutdown or interrupt)")
+	raw := fs.Bool("raw", false, "print raw NDJSON lines instead of formatted ones")
+	buf := fs.Int("buf", 0, "server-side subscriber buffer (0 = server default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return tail(cl, base, out, tailOptions{
+		kinds: *kinds, limit: *limit, buf: *buf,
+		print: func(out io.Writer, line []byte, ev obs.Event) bool {
+			if *raw {
+				fmt.Fprintf(out, "%s\n", line)
+			} else {
+				fmt.Fprintln(out, formatEvent(ev))
+			}
+			return true
+		},
+	})
+}
+
+// cmdTrace follows stitched packet journeys, one block per journey.
+func cmdTrace(cl *http.Client, base string, out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	limit := fs.Int("n", 0, "stop after N journeys (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return tail(cl, base, out, tailOptions{
+		kinds: obs.KindTrace, limit: *limit,
+		print: func(out io.Writer, _ []byte, ev obs.Event) bool {
+			j := ev.Trace
+			if j == nil {
+				return false
+			}
+			trunc := ""
+			if j.Truncated {
+				trunc = " TRUNCATED"
+			}
+			fmt.Fprintf(out, "journey id=%d host=%s gen=%d epoch=%d v=%d hops=%d%s\n",
+				j.ID, j.Host, j.Gen, j.Epoch, j.Version, len(j.Hops), trunc)
+			for _, h := range j.Hops {
+				switch h.Kind {
+				case "deliver":
+					fmt.Fprintf(out, "  gen=%-6d deliver host=%s\n", h.Gen, h.Host)
+				default:
+					fmt.Fprintf(out, "  gen=%-6d %-7s sw=%-3d in=%-2d rank=%-3d out=%d branch=%d\n",
+						h.Gen, h.Kind, h.Switch, h.InPort, h.Rank, h.Out, h.Branch)
+				}
+			}
+			return true
+		},
+	})
+}

@@ -8,10 +8,15 @@
 // API (all JSON):
 //
 //	GET  /healthz   liveness; 503 with a reason when the engine stopped
-//	                or a swap has wedged past its drain timeout
+//	                or a swap has wedged past its drain timeout; active
+//	                watchdog alerts ride along as degradation reasons
 //	GET  /status    program, epoch, swap history, engine snapshot
 //	GET  /stats     engine counters, uptime, build and runtime info
-//	GET  /metrics   Prometheus text exposition (see docs/OBSERVABILITY.md)
+//	GET  /metrics   Prometheus text exposition, including Go runtime
+//	                metrics (see docs/OBSERVABILITY.md)
+//	GET  /debug/flight
+//	                flight-recorder dump: bounded full-fidelity recent
+//	                history in deterministic order (see docs/OPS.md)
 //	GET  /watch     live event feed: deliveries (sampled), detections,
 //	                swap phases, stats deltas, journey traces. NDJSON by
 //	                default; SSE with ?sse=1 or Accept: text/event-stream.
@@ -35,16 +40,22 @@
 // submitted as source are parsed over the daemon's topology. Successive
 // revisions compile as deltas through the controller's cross-generation
 // cache. SIGINT/SIGTERM shut down gracefully: the HTTP server stops
-// accepting, in-flight requests finish, and the engine stops leak-free.
+// accepting, open /watch streams receive a terminal {"kind":"shutdown"}
+// event, in-flight requests finish, and the engine stops leak-free.
+// SIGQUIT dumps the flight record to stderr and keeps serving.
+// -debug-addr starts a second listener with net/http/pprof and expvar
+// (kept off the public API address on purpose).
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -84,9 +95,23 @@ type server struct {
 	watchBuf  int
 	heartbeat time.Duration
 
+	// shutdownCh is closed when graceful shutdown begins; every open
+	// /watch stream writes a terminal {"kind":"shutdown"} event and
+	// returns, so tailing clients see an explicit end-of-feed instead of
+	// an unexplained EOF.
+	shutdownCh   chan struct{}
+	shutdownOnce sync.Once
+
 	mu     sync.Mutex
 	staged *stagedProgram
 	nextID atomic.Int64 // auto-assigned packet ids for count-injections
+}
+
+// beginShutdown signals open /watch streams to terminate cleanly. Safe
+// to call more than once; must be called before http.Server.Shutdown,
+// which waits for those streams to finish.
+func (s *server) beginShutdown() {
+	s.shutdownOnce.Do(func() { close(s.shutdownCh) })
 }
 
 type stagedProgram struct {
@@ -400,7 +425,28 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{"ok": ok, "reason": reason})
+	// Watchdog alerts are degradation, not death: the daemon stays 200
+	// (it is alive and forwarding) but reports why it is unhappy, so a
+	// probe that wants to alert on degraded can read "degraded".
+	alerts := s.c.Alerts()
+	resp := map[string]any{"ok": ok, "reason": reason, "degraded": len(alerts) > 0}
+	if len(alerts) > 0 {
+		resp["alerts"] = alerts
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleFlight serves the flight-recorder dump: the bounded recent
+// history of deliveries, detections, swap phases and boundary stats, in
+// canonical deterministic order. The dump runs at an engine barrier, so
+// it is a consistent snapshot, and it does not consume the rings.
+func (s *server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	d := s.c.FlightDump()
+	if d == nil {
+		fail(w, http.StatusNotFound, "flight recorder disabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
 }
 
 // handleMetrics serves the Prometheus text exposition. The watch gauges
@@ -417,6 +463,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.obs.Metrics.WritePrometheus(w)
+	// Go runtime health (GC pause, scheduler latency, heap) rides on the
+	// same exposition so one scrape covers engine and runtime.
+	if err := obs.WriteRuntimeMetrics(w); err != nil {
+		log.Printf("netd: runtime metrics: %v", err)
+	}
 }
 
 // handleWatch streams the live event feed. Backpressure is strictly
@@ -481,6 +532,21 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-ctx.Done():
 			return
+		case <-s.shutdownCh:
+			// Graceful shutdown: drain whatever is already buffered, then
+			// say goodbye explicitly so the client can distinguish a clean
+			// stop from a crash.
+			for {
+				select {
+				case ev := <-sub.C:
+					if !write(ev) {
+						return
+					}
+				default:
+					write(obs.Event{Kind: obs.KindShutdown, Note: "server shutting down", Dropped: sub.Dropped()})
+					return
+				}
+			}
 		case ev := <-sub.C:
 			if !write(ev) {
 				return
@@ -504,13 +570,18 @@ func (s *server) handleQuiesce(w http.ResponseWriter, r *http.Request) {
 // the observability layer the controller was built with; nil disables
 // /metrics and /watch.
 func newServer(c *ctrl.Controller, o *obs.Obs) (*server, http.Handler) {
-	s := &server{c: c, obs: o, start: time.Now(), watchBuf: 256, heartbeat: 15 * time.Second}
+	s := &server{
+		c: c, obs: o, start: time.Now(),
+		watchBuf: 256, heartbeat: 15 * time.Second,
+		shutdownCh: make(chan struct{}),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /status", s.handleStatus)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /watch", s.handleWatch)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	mux.HandleFunc("POST /program", s.handleProgram)
 	mux.HandleFunc("POST /swap", s.handleSwap)
 	mux.HandleFunc("POST /inject", s.handleInject)
@@ -529,6 +600,8 @@ func main() {
 	traceSample := flag.Int("trace-sample", 64, "trace every Nth injected packet (0 disables journey tracing)")
 	deliverySample := flag.Int("delivery-sample", 16, "publish every Nth delivery on /watch (0 disables the delivery feed)")
 	watchBuf := flag.Int("watch-buf", 256, "default per-subscriber /watch event buffer")
+	flightCap := flag.Int("flight-cap", obs.DefaultFlightCap, "flight-recorder ring capacity per worker (0 uses the default)")
+	debugAddr := flag.String("debug-addr", "", "listen address for the pprof/expvar debug server (empty disables it)")
 	flag.Parse()
 
 	m, ok := dataplane.ParseMode(*mode)
@@ -546,6 +619,8 @@ func main() {
 	o := &obs.Obs{
 		Metrics:        obs.NewMetrics(*workers),
 		Bus:            obs.NewBus(),
+		Flight:         obs.NewFlight(*flightCap, *workers),
+		Watch:          obs.NewWatchdog(obs.WatchOptions{}),
 		DeliverySample: *deliverySample,
 	}
 	if *traceSample > 0 {
@@ -553,8 +628,22 @@ func main() {
 	}
 
 	// Bound the delivery log: a daemon must not retain every packet it
-	// ever delivered.
-	c := ctrl.New(a.Topo, ctrl.Options{Workers: *workers, Mode: m, DeliveryLog: 1 << 16, Obs: o})
+	// ever delivered. A wedged swap dumps the flight record to stderr
+	// automatically so the stuck drain can be diagnosed post hoc.
+	c := ctrl.New(a.Topo, ctrl.Options{
+		Workers: *workers, Mode: m, DeliveryLog: 1 << 16, Obs: o,
+		OnWedgeDump: func(d *obs.FlightDump) {
+			if d == nil {
+				return
+			}
+			b, err := json.Marshal(d)
+			if err != nil {
+				log.Printf("netd: wedge flight dump: %v", err)
+				return
+			}
+			log.Printf("netd: swap wedged; flight dump (%d records): %s", len(d.Records), b)
+		},
+	})
 	if err := c.Load(a.Name, a.Prog); err != nil {
 		log.Fatalf("netd: loading %s: %v", a.Name, err)
 	}
@@ -569,10 +658,44 @@ func main() {
 		}
 	}()
 
+	if *debugAddr != "" {
+		// pprof and expvar live on their own listener so profiling access
+		// can be firewalled separately from the public API. The handlers
+		// are registered explicitly: the side-effect registration of
+		// net/http/pprof only reaches http.DefaultServeMux.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			log.Printf("netd: debug server (pprof, expvar) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil && err != http.ErrServerClosed {
+				log.Printf("netd: debug server: %v", err)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	for got := range sig {
+		if got == syscall.SIGQUIT {
+			// Operator snapshot: dump the flight record and keep serving.
+			// (Notify on SIGQUIT replaces the runtime's stack-dump-and-die
+			// default, which is exactly the point.)
+			if d := c.FlightDump(); d != nil {
+				if b, err := json.Marshal(d); err == nil {
+					log.Printf("netd: SIGQUIT flight dump (%d records): %s", len(d.Records), b)
+				}
+			}
+			continue
+		}
+		break
+	}
 	log.Printf("netd: shutting down")
+	s.beginShutdown()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -25,6 +25,8 @@ func watchServer(t *testing.T) (*httptest.Server, *server, *obs.Obs, *ctrl.Contr
 		Metrics:        obs.NewMetrics(2),
 		Bus:            obs.NewBus(),
 		Trace:          obs.NewTracer(1, 2),
+		Flight:         obs.NewFlight(0, 2),
+		Watch:          obs.NewWatchdog(obs.WatchOptions{}),
 		DeliverySample: 1,
 	}
 	c := ctrl.New(a.Topo, ctrl.Options{Workers: 2, Obs: o})

@@ -25,7 +25,7 @@ func TestChaosSmoke(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, repro, err := Audit(s, Options{Workers: 2})
+			res, repro, _, err := Audit(s, Options{Workers: 2})
 			if err != nil {
 				t.Fatalf("%s seed %d: %v", name, seed, err)
 			}
@@ -127,7 +127,7 @@ func TestReproducerRoundTrip(t *testing.T) {
 			t.Fatalf("op %d: %+v vs %+v", i, got.Ops[i], s.Ops[i])
 		}
 	}
-	res, repro, err := Audit(s, Options{Workers: 1})
+	res, repro, _, err := Audit(s, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"eventnet/internal/dataplane"
+	"eventnet/internal/obs"
 )
 
 // Shrink returns the length of the shortest prefix of ops for which
@@ -31,11 +32,16 @@ func Shrink(ops []Op, violates func([]Op) bool) int {
 // Audit runs a schedule and, if the run violates the delivery invariant,
 // minimizes it: the returned Schedule (nil when the run is clean) is the
 // shortest violating prefix, ready to print via Reproducer and replay
-// via Run.
-func Audit(s Schedule, o Options) (*Result, *Schedule, error) {
+// via Run. Alongside the reproducer comes its flight dump: the minimal
+// schedule replayed once more with a flight recorder attached, so the
+// violation ships with the full-fidelity history that produced it. The
+// dump is deterministic — the replay engine is synchronous, the
+// recorder carries no wall-clock state, and an equal reproducer dumps
+// bit-identically at any worker count.
+func Audit(s Schedule, o Options) (*Result, *Schedule, *obs.FlightDump, error) {
 	res, err := Run(s, o)
 	if err != nil || res.Violations() == 0 {
-		return res, nil, err
+		return res, nil, nil, err
 	}
 	var probeErr error
 	n := Shrink(s.Ops, func(ops []Op) bool {
@@ -47,10 +53,15 @@ func Audit(s Schedule, o Options) (*Result, *Schedule, error) {
 		return r.Violations() > 0
 	})
 	if probeErr != nil {
-		return res, nil, fmt.Errorf("chaos: shrink replay: %w", probeErr)
+		return res, nil, nil, fmt.Errorf("chaos: shrink replay: %w", probeErr)
 	}
 	min := Schedule{Scenario: s.Scenario, Seed: s.Seed, Ops: s.Ops[:n]}
-	return res, &min, nil
+	ro := o
+	ro.Obs = &obs.Obs{Flight: obs.NewFlight(0, max(o.Workers, 1))}
+	if _, err := Run(min, ro); err != nil {
+		return res, &min, nil, fmt.Errorf("chaos: flight replay: %w", err)
+	}
+	return res, &min, ro.Obs.Flight.Dump(), nil
 }
 
 // CheckDeterminism replays a schedule at every given worker count on

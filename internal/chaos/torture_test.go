@@ -69,7 +69,7 @@ func TestChunkTorture(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, repro, err := Audit(s, o)
+		res, repro, _, err := Audit(s, o)
 		if err != nil {
 			t.Fatalf("%s chunk=%d workers=%d: %v", name, o.ChunkGens, o.Workers, err)
 		}

@@ -65,6 +65,11 @@ type Options struct {
 	// builds, swap "stage" phase events on the bus, program-count and
 	// store-size gauges. See docs/OBSERVABILITY.md.
 	Obs *obs.Obs
+	// OnWedgeDump, when set alongside Obs.Flight, receives the flight
+	// dump taken automatically the first time Health observes a wedged
+	// swap (draining past SwapTimeout). Called from its own goroutine,
+	// once per wedge.
+	OnWedgeDump func(*obs.FlightDump)
 }
 
 // Program is one compiled program generation.
@@ -150,8 +155,11 @@ type Controller struct {
 
 	// swapStart is the wall time of the in-flight swap's StageSwap call,
 	// zero when none is draining. Health uses it to distinguish a healthy
-	// drain from a wedged one without an engine round trip.
-	swapStart time.Time
+	// drain from a wedged one without an engine round trip. wedgeDumped
+	// marks that the current wedge's automatic flight dump has been
+	// taken; it resets whenever swapStart clears.
+	swapStart   time.Time
+	wedgeDumped bool
 }
 
 // stagedTables caches the phase-one merged install per program pair.
@@ -358,6 +366,11 @@ func (c *Controller) Swap(name string, p stateful.Program) (SwapReport, error) {
 			CompileMS: float64(np.Compile.Microseconds()) / 1000,
 		})
 	}
+	if f := c.flight(); f != nil {
+		// Gen -1: the controller has no engine generation in hand; the
+		// serial ring backfills the newest it has seen.
+		f.Serial(obs.FlightRec{Kind: obs.FlightSwap, Phase: "stage", Gen: -1})
+	}
 	c.mu.Lock()
 	c.swapStart = time.Now()
 	c.mu.Unlock()
@@ -365,6 +378,7 @@ func (c *Controller) Swap(name string, p stateful.Program) (SwapReport, error) {
 	if err != nil {
 		c.mu.Lock()
 		c.swapStart = time.Time{}
+		c.wedgeDumped = false
 		c.mu.Unlock()
 		return SwapReport{}, err
 	}
@@ -379,6 +393,7 @@ func (c *Controller) Swap(name string, p stateful.Program) (SwapReport, error) {
 	case <-sw.Done():
 		c.mu.Lock()
 		c.swapStart = time.Time{}
+		c.wedgeDumped = false
 		c.mu.Unlock()
 	case <-time.After(c.opts.SwapTimeout):
 		// Leave swapStart set — Health reports the wedge — but clear it if
@@ -387,6 +402,7 @@ func (c *Controller) Swap(name string, p stateful.Program) (SwapReport, error) {
 			<-sw.Done()
 			c.mu.Lock()
 			c.swapStart = time.Time{}
+			c.wedgeDumped = false
 			c.mu.Unlock()
 		}()
 		return SwapReport{}, fmt.Errorf("ctrl: swap %s -> %s flipped but did not drain within %v", old.Name, name, c.opts.SwapTimeout)
@@ -531,6 +547,46 @@ func (c *Controller) bus() *obs.Bus {
 	return c.opts.Obs.Bus
 }
 
+// flight returns the controller's flight recorder, possibly nil.
+func (c *Controller) flight() *obs.Flight {
+	if c.opts.Obs == nil {
+		return nil
+	}
+	return c.opts.Obs.Flight
+}
+
+// watchdog returns the controller's watchdog, possibly nil.
+func (c *Controller) watchdog() *obs.Watchdog {
+	if c.opts.Obs == nil {
+		return nil
+	}
+	return c.opts.Obs.Watch
+}
+
+// Alerts returns the watchdog's currently-firing alerts (nil without a
+// watchdog).
+func (c *Controller) Alerts() []obs.Alert {
+	w := c.watchdog()
+	if w == nil {
+		return nil
+	}
+	return w.Active()
+}
+
+// FlightDump stitches the flight recorder's rings, through an engine
+// barrier when one is serving (quiescent worker rings) and directly
+// otherwise. Nil without a recorder.
+func (c *Controller) FlightDump() *obs.FlightDump {
+	f := c.flight()
+	if f == nil {
+		return nil
+	}
+	if eng := c.engine(); eng != nil {
+		return eng.FlightDump()
+	}
+	return f.Dump()
+}
+
 // Health reports liveness without an engine barrier round trip, so it
 // stays truthful even when the engine is wedged: ok is false with a
 // reason when no program is loaded, the engine has stopped serving, or
@@ -546,9 +602,33 @@ func (c *Controller) Health() (bool, string) {
 	case !eng.Serving():
 		return false, "engine stopped"
 	case !swapStart.IsZero() && time.Since(swapStart) > c.opts.SwapTimeout:
+		c.wedgeDump()
 		return false, fmt.Sprintf("swap draining for %s (timeout %s)", time.Since(swapStart).Round(time.Millisecond), c.opts.SwapTimeout)
 	}
 	return true, "ok"
+}
+
+// wedgeDump takes the wedged swap's automatic flight dump: once per
+// wedge, from its own goroutine (the dump crosses an engine barrier;
+// Health must stay a non-blocking probe). The dump goes to the
+// OnWedgeDump hook when one is set.
+func (c *Controller) wedgeDump() {
+	if c.flight() == nil {
+		return
+	}
+	c.mu.Lock()
+	already := c.wedgeDumped
+	c.wedgeDumped = true
+	c.mu.Unlock()
+	if already {
+		return
+	}
+	go func() {
+		d := c.FlightDump()
+		if d != nil && c.opts.OnWedgeDump != nil {
+			c.opts.OnWedgeDump(d)
+		}
+	}()
 }
 
 // Close stops the engine and releases every memoized generation's cached

@@ -162,14 +162,7 @@ func BenchmarkEngineForwardObs(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(e.Processed()-h0)/float64(b.N), "hops/op")
 	}
-	b.Run("metrics-off", func(b *testing.B) { run(b, nil) })
-	b.Run("metrics-on", func(b *testing.B) {
-		o := &obs.Obs{
-			Metrics:        obs.NewMetrics(1),
-			Bus:            obs.NewBus(),
-			Trace:          obs.NewTracer(obs.DefaultSample, 1),
-			DeliverySample: 16,
-		}
+	withSub := func(b *testing.B, o *obs.Obs) {
 		sub := o.Bus.Subscribe(1024)
 		drained := make(chan struct{})
 		go func() {
@@ -179,5 +172,28 @@ func BenchmarkEngineForwardObs(b *testing.B) {
 		}()
 		defer func() { sub.Close(); <-drained }()
 		run(b, o)
+	}
+	b.Run("metrics-off", func(b *testing.B) { run(b, nil) })
+	b.Run("metrics-on", func(b *testing.B) {
+		withSub(b, &obs.Obs{
+			Metrics:        obs.NewMetrics(1),
+			Bus:            obs.NewBus(),
+			Trace:          obs.NewTracer(obs.DefaultSample, 1),
+			DeliverySample: 16,
+		})
+	})
+	// metrics-flight is the PR-9 full-stack leg: everything metrics-on
+	// carries plus the flight recorder and the watchdog. CI gates it
+	// against metrics-off at the same 1.05x ratio (the leg name must not
+	// contain "metrics-on" or "metrics-off"; the gate matches substrings).
+	b.Run("metrics-flight", func(b *testing.B) {
+		withSub(b, &obs.Obs{
+			Metrics:        obs.NewMetrics(1),
+			Bus:            obs.NewBus(),
+			Trace:          obs.NewTracer(obs.DefaultSample, 1),
+			Flight:         obs.NewFlight(0, 1),
+			Watch:          obs.NewWatchdog(obs.WatchOptions{}),
+			DeliverySample: 16,
+		})
 	})
 }

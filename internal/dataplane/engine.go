@@ -195,6 +195,7 @@ type worker struct {
 	// delivery-sampling cursor into dlog.
 	ms          *obs.Shard
 	ts          *obs.TraceShard
+	fs          *obs.FlightShard
 	swID        []int32 // switch index -> ID, shared immutable (trace records)
 	detRing     []detRec
 	detN        int
@@ -553,10 +554,13 @@ type Engine struct {
 	met     *obs.Metrics
 	bus     *obs.Bus
 	tracer  *obs.Tracer
+	flight  *obs.Flight
+	watch   *obs.Watchdog
 	dsample int // publish every Nth delivery on the bus (0 = none)
 	nowNs   int64
 	dcount  int64 // deliveries seen by the boundary sampler
 	lastPub [obsDeltaCounters]int64
+	lastFl  [obsDeltaCounters]int64 // previous flight stats record's counters
 
 	// Served-mode coordination. wmu guards inbox, ctl, serving, stopping
 	// and idle; cond (on wmu) wakes the supervisor and Quiesce/waiters.
@@ -662,12 +666,17 @@ func (e *Engine) attachObs(o *obs.Obs) {
 	e.met = o.Metrics
 	e.bus = o.Bus
 	e.tracer = o.Trace
+	e.flight = o.Flight
+	e.watch = o.Watch
 	e.dsample = o.DeliverySample
 	if e.met != nil {
 		e.met.EnsureShards(e.workers)
 	}
 	if e.tracer != nil {
 		e.tracer.EnsureShards(e.workers)
+	}
+	if e.flight != nil {
+		e.flight.EnsureShards(e.workers)
 	}
 	swID := make([]int32, len(e.switches))
 	for i, sw := range e.switches {
@@ -680,6 +689,9 @@ func (e *Engine) attachObs(o *obs.Obs) {
 		}
 		if e.tracer != nil {
 			wk.ts = e.tracer.Shard(i)
+		}
+		if e.flight != nil {
+			wk.fs = e.flight.Shard(i)
 		}
 		if e.bus != nil {
 			wk.detRing = make([]detRec, detRingCap)
@@ -908,6 +920,13 @@ func (e *Engine) retireIfDrained() {
 			Inflight: s.stats.DrainedHops,
 		})
 	}
+	if e.flight != nil {
+		e.flight.Serial(obs.FlightRec{
+			Kind: obs.FlightSwap, Phase: "retire",
+			To: int32(e.cur().epoch), Epoch: int32(e.cur().epoch),
+			Gen: e.gen, Seq: e.seq,
+		})
+	}
 	close(s.done)
 }
 
@@ -997,6 +1016,13 @@ func (e *Engine) hop(wk *worker, i int, dests []portDest, p *qpkt, oldEpoch int,
 			} else {
 				wk.detDrops++
 			}
+		}
+		if wk.fs != nil {
+			wk.fs.Add(obs.FlightRec{
+				Kind: obs.FlightDetect, Switch: int32(e.switches[i]),
+				Branch: p.branch, Epoch: int32(p.epoch), Version: int32(p.version),
+				Gen: wk.gen, Seq: p.seq, Bits: string(newly),
+			})
 		}
 	}
 
@@ -1097,6 +1123,13 @@ func (e *Engine) hop(wk *worker, i int, dests []portDest, p *qpkt, oldEpoch int,
 				if p.tns != 0 {
 					wk.ms.Observe(obs.HistDeliveryNs, e.nowNs-p.tns)
 				}
+			}
+			if wk.fs != nil {
+				wk.fs.Add(obs.FlightRec{
+					Kind: obs.FlightDeliver, Switch: int32(e.switches[i]),
+					Branch: int32(gi), Epoch: int32(p.epoch), Version: int32(p.version),
+					Gen: wk.gen, Seq: p.seq, Host: d.host,
+				})
 			}
 			if p.trace != 0 {
 				wk.traceRecB(p, i, obs.HopDeliver, ri, 0, int32(gi), d.host)
@@ -1213,13 +1246,29 @@ func (e *Engine) flip(spec SwapSpec, s *Swap) error {
 			From: old.epoch, To: np.epoch, Gen: e.gen, Epoch: np.epoch,
 		})
 	}
-	e.retireIfDrained() // nothing in flight: flip and retire at one barrier
-	if e.swap != nil && e.bus != nil {
-		e.bus.Publish(obs.Event{
-			Kind: obs.KindSwap, Phase: "drain",
-			From: old.epoch, To: np.epoch, Gen: e.gen, Epoch: np.epoch,
-			Inflight: old.inflight,
+	if e.flight != nil {
+		e.flight.Serial(obs.FlightRec{
+			Kind: obs.FlightSwap, Phase: "flip",
+			From: int32(old.epoch), To: int32(np.epoch), Epoch: int32(np.epoch),
+			Gen: e.gen, Seq: e.seq,
 		})
+	}
+	e.retireIfDrained() // nothing in flight: flip and retire at one barrier
+	if e.swap != nil {
+		if e.bus != nil {
+			e.bus.Publish(obs.Event{
+				Kind: obs.KindSwap, Phase: "drain",
+				From: old.epoch, To: np.epoch, Gen: e.gen, Epoch: np.epoch,
+				Inflight: old.inflight,
+			})
+		}
+		if e.flight != nil {
+			e.flight.Serial(obs.FlightRec{
+				Kind: obs.FlightSwap, Phase: "drain",
+				From: int32(old.epoch), To: int32(np.epoch), Epoch: int32(np.epoch),
+				Gen: e.gen, Seq: e.seq,
+			})
+		}
 	}
 	return nil
 }

@@ -54,6 +54,13 @@ func (e *Engine) flushObs() {
 			dl += len(wk.dlog)
 		}
 		e.met.SetGauge(obs.GaugeDeliveryLog, int64(dl))
+		if e.bus != nil {
+			e.met.SetGauge(obs.GaugeWatchSubscribers, int64(e.bus.Subscribers()))
+			e.met.SetGauge(obs.GaugeWatchDropped, e.bus.Dropped())
+		}
+		if e.flight != nil {
+			e.met.SetGauge(obs.GaugeFlightEvicted, e.flight.Evicted())
+		}
 		e.nowNs = time.Now().UnixNano()
 	}
 	if e.bus != nil {
@@ -87,6 +94,8 @@ func (e *Engine) flushObs() {
 					e.met.Inc(obs.CtrTracesTruncated)
 				}
 			}
+			e.met.SetGauge(obs.GaugeTracePending, int64(e.tracer.Pending()))
+			e.met.SetGauge(obs.GaugeTraceOrphans, e.tracer.Orphans())
 		}
 		if e.bus != nil {
 			for _, j := range done {
@@ -125,6 +134,57 @@ func (e *Engine) flushObs() {
 			e.lastPub = cur
 		}
 	}
+	// The flight recorder gets its own boundary stats record, on its own
+	// delta baseline: the bus delta above only advances while someone is
+	// subscribed, and a flight dump must read the same whether or not a
+	// /watch client happened to be attached (determinism across equal
+	// executions). The recorded deltas are engine totals — worker-count
+	// independent by the fold.
+	if e.flight != nil && e.met != nil {
+		var cur [obsDeltaCounters]int64
+		any := false
+		for i, c := range deltaCtrs {
+			cur[i] = e.met.Counter(c)
+			if cur[i] != e.lastFl[i] {
+				any = true
+			}
+		}
+		if any {
+			e.flight.Serial(obs.FlightRec{
+				Kind: obs.FlightStats, Gen: e.gen, Seq: e.seq,
+				Epoch: int32(e.cur().epoch),
+				Stats: &obs.StatsDelta{
+					Generations: cur[0] - e.lastFl[0],
+					Hops:        cur[1] - e.lastFl[1],
+					Injections:  cur[2] - e.lastFl[2],
+					Deliveries:  cur[3] - e.lastFl[3],
+					RuleDrops:   cur[4] - e.lastFl[4],
+					TTLDrops:    cur[5] - e.lastFl[5],
+					Events:      cur[6] - e.lastFl[6],
+					DrainedHops: cur[7] - e.lastFl[7],
+					Pending:     int64(e.pending()),
+					DeliveryLog: e.met.Gauge(obs.GaugeDeliveryLog),
+				},
+			})
+			e.lastFl = cur
+		}
+	}
+	if e.watch != nil {
+		e.watch.Check(e.gen, e.met, e.bus)
+	}
+}
+
+// FlightDump stitches the flight recorder's rings at a generation
+// barrier (Do), where worker-ring writers are quiescent. Nil when no
+// recorder is attached. The dump is repeatable — the rings are not
+// consumed.
+func (e *Engine) FlightDump() *obs.FlightDump {
+	if e.flight == nil {
+		return nil
+	}
+	var d *obs.FlightDump
+	e.Do(func() { d = e.flight.Dump() })
+	return d
 }
 
 // flushDeliverySamples publishes every Nth delivery (N =

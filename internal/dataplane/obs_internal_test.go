@@ -7,21 +7,25 @@ import (
 )
 
 // obsFull builds a fully-enabled observability layer: metrics, bus,
-// and tracing at the given sample rate.
+// tracing at the given sample rate, flight recorder and watchdog — the
+// zero-alloc pin below covers every hot-path recorder at once.
 func obsFull(sample int) *obs.Obs {
 	return &obs.Obs{
 		Metrics:        obs.NewMetrics(1),
 		Bus:            obs.NewBus(),
 		Trace:          obs.NewTracer(sample, 1),
+		Flight:         obs.NewFlight(0, 1),
+		Watch:          obs.NewWatchdog(obs.WatchOptions{}),
 		DeliverySample: 1,
 	}
 }
 
 // TestEngineHopLoopZeroAllocObs pins the tentpole property of the
 // observability layer: the steady-state hop loop still allocates
-// nothing with metrics on and *every* packet traced (sample rate 1 —
-// stricter than the CI-advertised 1/64). All hot-path recording must be
-// plain stores into preallocated shards; the 600-generation window
+// nothing with metrics on, *every* packet traced (sample rate 1 —
+// stricter than the CI-advertised 1/64), and the flight recorder
+// capturing every delivery and detection. All hot-path recording must
+// be plain stores into preallocated shards; the 600-generation window
 // contains no boundary, so nothing may defer allocation into the
 // measured loop either.
 func TestEngineHopLoopZeroAllocObs(t *testing.T) {
@@ -53,6 +57,9 @@ func TestEngineHopLoopZeroAllocObs(t *testing.T) {
 	}
 	if got := o.Metrics.HistCount(obs.HistHopNs); got == 0 {
 		t.Fatalf("hop-latency histogram empty; chunk timing was not folded")
+	}
+	if d := e.FlightDump(); len(d.Records) == 0 {
+		t.Fatalf("flight record empty; the recorder was not written")
 	}
 }
 

@@ -10,12 +10,15 @@ import (
 )
 
 // fullObs is a fully-enabled layer sized for w workers: metrics, bus,
-// tracing every injection, every delivery sampled.
+// tracing every injection, every delivery sampled, flight recorder
+// (rings big enough that these workloads never truncate), watchdog.
 func fullObs(w int) *obs.Obs {
 	return &obs.Obs{
 		Metrics:        obs.NewMetrics(w),
 		Bus:            obs.NewBus(),
 		Trace:          obs.NewTracer(1, w),
+		Flight:         obs.NewFlight(1<<16, w),
+		Watch:          obs.NewWatchdog(obs.WatchOptions{}),
 		DeliverySample: 1,
 	}
 }

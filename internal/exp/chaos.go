@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"eventnet/internal/chaos"
+	"eventnet/internal/obs"
 )
 
 // ChaosResult carries the chaos audit table plus the counters the CLI
@@ -13,8 +14,11 @@ type ChaosResult struct {
 	Audited    int
 	Violations int
 	// Reproducers holds one minimized reproducer line per violating run
-	// (see docs/CHAOS.md); empty when every run is clean.
+	// (see docs/CHAOS.md); empty when every run is clean. FlightDumps is
+	// parallel to it: the deterministic flight record of each minimized
+	// reproducer's replay.
 	Reproducers []string
+	FlightDumps []*obs.FlightDump
 }
 
 // Chaos is the standing differential audit as an experiment: every
@@ -45,13 +49,14 @@ func Chaos(rounds int, seeds []int64, workers int) (*ChaosResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, repro, err := chaos.Audit(s, chaos.Options{Workers: workers})
+			res, repro, dump, err := chaos.Audit(s, chaos.Options{Workers: workers})
 			if err != nil {
 				return nil, err
 			}
 			addRow("sync", res)
 			if repro != nil {
 				out.Reproducers = append(out.Reproducers, repro.Reproducer())
+				out.FlightDumps = append(out.FlightDumps, dump)
 			}
 		}
 	}

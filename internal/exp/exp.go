@@ -532,13 +532,16 @@ func TableCompileScale() *Table {
 //
 // The ns_hop_obs and obs_ratio columns repeat the engine leg with the
 // full observability layer attached — sharded metrics, 1/64 journey
-// tracing, and a live bus subscriber draining the feed — in the same
-// process on the same workload. obs_ratio = ns_hop_obs / ns_hop_engine
-// is the telemetry overhead CI gates at 1.05 (docs/OBSERVABILITY.md).
+// tracing, the flight recorder, and a live bus subscriber draining the
+// feed — in the same process on the same workload. obs_ratio =
+// ns_hop_obs / ns_hop_engine is the telemetry overhead CI gates at 1.05
+// (docs/OBSERVABILITY.md). p50_hop_ns/p99_hop_ns come from that leg's
+// hop-latency histogram via obs.Histogram.Quantile — the same estimator
+// `netctl top` runs on /metrics scrape deltas.
 func Throughput(probes int) *Table {
 	t := &Table{
 		Title:   "Dataplane throughput: compiled indexed matchers vs linear scan (merged tables), plus engine hop cost",
-		Columns: []string{"app", "rules", "pps_scan", "pps_indexed", "speedup", "ns_hop_engine", "allocs_hop_engine", "ns_hop_obs", "obs_ratio"},
+		Columns: []string{"app", "rules", "pps_scan", "pps_indexed", "speedup", "ns_hop_engine", "allocs_hop_engine", "ns_hop_obs", "obs_ratio", "p50_hop_ns", "p99_hop_ns"},
 	}
 	cases := apps.All()
 	cases = append(cases, apps.BandwidthCap(40), apps.BandwidthCap(200), apps.IDSFatTree(4))
@@ -621,12 +624,13 @@ func Throughput(probes int) *Table {
 		}
 		nsHop, allocsHop := engineLeg(nil)
 
-		// Telemetry leg: the netd defaults (metrics on, 1/64 tracing, a
-		// subscriber actively draining the feed).
+		// Telemetry leg: the netd defaults (metrics on, 1/64 tracing, the
+		// flight recorder, a subscriber actively draining the feed).
 		o := &obs.Obs{
 			Metrics:        obs.NewMetrics(1),
 			Bus:            obs.NewBus(),
 			Trace:          obs.NewTracer(obs.DefaultSample, 1),
+			Flight:         obs.NewFlight(0, 1),
 			DeliverySample: 16,
 		}
 		sub := o.Bus.Subscribe(1024)
@@ -639,6 +643,7 @@ func Throughput(probes int) *Table {
 		nsHopObs, _ := engineLeg(o)
 		sub.Close()
 		<-drained
+		hopHist := o.Metrics.Histogram(obs.HistHopNs)
 
 		t.Rows = append(t.Rows, []string{
 			a.Name, fmt.Sprint(rules),
@@ -646,6 +651,7 @@ func Throughput(probes int) *Table {
 			fmt.Sprintf("%.1f", ppsIdx/ppsScan),
 			fmt.Sprintf("%.1f", nsHop), fmt.Sprintf("%.2f", allocsHop),
 			fmt.Sprintf("%.1f", nsHopObs), fmt.Sprintf("%.3f", nsHopObs/nsHop),
+			fmt.Sprintf("%.0f", hopHist.Quantile(0.50)), fmt.Sprintf("%.0f", hopHist.Quantile(0.99)),
 		})
 	}
 	return t

@@ -16,6 +16,8 @@ const (
 	KindStats    = "stats"    // a chunk-boundary stats delta
 	KindTrace    = "trace"    // a stitched packet journey
 	KindMeta     = "meta"     // stream metadata (subscribe banner, heartbeats)
+	KindAlert    = "alert"    // a watchdog alert transition (raise/clear)
+	KindShutdown = "shutdown" // terminal event: the daemon is shutting down
 )
 
 // StatsDelta is the payload of a KindStats event: what changed since
@@ -63,6 +65,9 @@ type Event struct {
 
 	// KindStats
 	Stats *StatsDelta `json:"stats,omitempty"`
+
+	// KindAlert (Phase carries raise|clear, Note the alert name)
+	Alert *Alert `json:"alert,omitempty"`
 
 	// KindTrace
 	Trace *Journey `json:"trace,omitempty"`

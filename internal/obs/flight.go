@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"slices"
+	"sync"
+)
+
+// Flight recorder: bounded per-worker rings of full-fidelity recent
+// history — every delivery with its stamp, every detection, every swap
+// phase, and the chunk-boundary stats deltas — always on, overwritten
+// circularly so the moments *before* an anomaly are recoverable after
+// the fact (a wedged swap, a chaos violation, a SIGQUIT).
+//
+// The write contract is the metrics Shard contract: FlightShard.Add is
+// a plain store into a preallocated ring, written by exactly one worker
+// goroutine between boundaries, so the hop loop stays zero-alloc with
+// the recorder enabled (CI-pinned by TestEngineHopLoopZeroAllocObs).
+// Serial engine contexts (swap flips, boundary stats) and the
+// controller's stage phase write through a mutex-guarded serial ring
+// instead — they are off the hot path, and the stage record arrives
+// from the Swap caller's goroutine.
+//
+// Dump stitches every ring into the canonical (Gen, Seq, Kind, Branch)
+// order — the same total order the delivery merge and the tracer use —
+// and normalizes ring overflow to a *generation cutoff*: because each
+// ring is written in nondecreasing generation order, every record newer
+// than the newest evicted generation (across all rings) is provably
+// still present in its ring, so the dump after the cutoff is a
+// complete, execution-deterministic suffix of history. Records carry no
+// wall-clock stamps, so equal executions dump bit-identically at any
+// worker count (TestEngineFlightDeterminism).
+
+// FlightKind classifies one flight record. The numeric order is the
+// canonical-sort tiebreak at equal (Gen, Seq): a detection sorts before
+// the delivery the same consumed packet produced, and serial records
+// (swap, stats) sort after the generation's packet records.
+type FlightKind uint8
+
+const (
+	FlightDetect FlightKind = iota
+	FlightDeliver
+	FlightSwap
+	FlightStats
+)
+
+var flightKindNames = [...]string{
+	FlightDetect:  "detect",
+	FlightDeliver: "deliver",
+	FlightSwap:    "swap",
+	FlightStats:   "stats",
+}
+
+// String returns the record kind's wire name.
+func (k FlightKind) String() string {
+	if int(k) < len(flightKindNames) {
+		return flightKindNames[k]
+	}
+	return "unknown"
+}
+
+// FlightRec is one flat flight record, shaped for a plain-store ring
+// write on the hop loop (the only pointers are string headers, copied
+// without allocating, and the Stats pointer, set only by serial-context
+// records). It deliberately carries no timestamp: flight dumps must be
+// bit-identical across equal executions, and wall-clock stamps are the
+// one field that never is.
+type FlightRec struct {
+	Kind    FlightKind
+	Switch  int32
+	Branch  int32
+	From    int32 // FlightSwap: old epoch
+	To      int32 // FlightSwap: new epoch
+	Epoch   int32
+	Version int32
+	Gen     int64
+	Seq     int64
+	Host    string      // FlightDeliver: destination host
+	Phase   string      // FlightSwap: stage|flip|drain|retire
+	Bits    string      // FlightDetect: the raw nes.Set bitset
+	Stats   *StatsDelta // FlightStats only (serial context)
+}
+
+// FlightShard is one worker's circular record ring. Unlike a TraceShard
+// (which drops new records on overflow, because a journey missing its
+// oldest hops can never be stitched), a flight ring overwrites its
+// *oldest* records: the recorder's job is to retain the most recent
+// history at the moment someone asks for it.
+type FlightShard struct {
+	recs    []FlightRec
+	n       uint64 // total records ever written
+	evicted int64  // records overwritten
+	// lastEvictGen is the generation of the newest overwritten record.
+	// Ring writes arrive in nondecreasing generation order (each worker's
+	// gen only advances), so this is the shard's truncation watermark:
+	// every record with Gen > lastEvictGen is still in the ring.
+	lastEvictGen int64
+}
+
+// Add appends a record, overwriting the oldest on overflow. A plain
+// store plus ring arithmetic; never allocates.
+func (s *FlightShard) Add(r FlightRec) {
+	i := int(s.n % uint64(len(s.recs)))
+	if s.n >= uint64(len(s.recs)) {
+		s.evicted++
+		s.lastEvictGen = s.recs[i].Gen
+	}
+	s.recs[i] = r
+	s.n++
+}
+
+// DefaultFlightCap is the per-ring record capacity default.
+const DefaultFlightCap = 4096
+
+// Flight is the recorder: per-worker rings written with plain stores on
+// the hot path, plus one mutex-guarded serial ring for boundary and
+// controller records. Dump requires worker-ring writers to be quiescent
+// (the engine dumps inside Do); the serial ring is safe at any time.
+type Flight struct {
+	cap    int
+	shards []*FlightShard
+
+	mu        sync.Mutex // guards the serial ring and its counters
+	serial    FlightShard
+	serialSeq int32 // deterministic Branch tiebreak for serial records
+	serialGen int64 // newest generation seen by the serial ring
+}
+
+// NewFlight builds a recorder with per-ring capacity capPerRing
+// (<=0 uses DefaultFlightCap) and `workers` preallocated worker rings.
+func NewFlight(capPerRing, workers int) *Flight {
+	if capPerRing <= 0 {
+		capPerRing = DefaultFlightCap
+	}
+	f := &Flight{cap: capPerRing}
+	f.serial.recs = make([]FlightRec, capPerRing)
+	f.EnsureShards(workers)
+	return f
+}
+
+// Cap returns the per-ring record capacity.
+func (f *Flight) Cap() int { return f.cap }
+
+// EnsureShards grows the worker-ring set to at least n.
+func (f *Flight) EnsureShards(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.shards) < n {
+		f.shards = append(f.shards, &FlightShard{recs: make([]FlightRec, f.cap)})
+	}
+}
+
+// Shard returns worker i's ring (EnsureShards must have covered i).
+func (f *Flight) Shard(i int) *FlightShard {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shards[i]
+}
+
+// Evicted returns the total records overwritten across every ring.
+// Worker rings are read without synchronization, so call only where
+// ring writers are quiescent (the engine's boundary, or Do).
+func (f *Flight) Evicted() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.serial.evicted
+	for _, s := range f.shards {
+		n += s.evicted
+	}
+	return n
+}
+
+// Serial records from a serial context: engine boundaries (flips,
+// retires, stats deltas) and the controller's stage phase. The record's
+// Branch is overwritten with a monotone counter, giving simultaneous
+// serial records a deterministic canonical-sort tiebreak. A negative
+// Gen (a writer with no engine generation in hand, like the
+// controller's stage phase) is backfilled with the newest generation
+// the ring has seen, which also keeps the ring's writes nondecreasing
+// in Gen — the invariant the truncation watermark rests on.
+func (f *Flight) Serial(r FlightRec) {
+	f.mu.Lock()
+	f.serialSeq++
+	r.Branch = f.serialSeq
+	if r.Gen < 0 {
+		r.Gen = f.serialGen
+	} else if r.Gen > f.serialGen {
+		f.serialGen = r.Gen
+	}
+	f.serial.Add(r)
+	f.mu.Unlock()
+}
+
+// FlightWireRec is one flight record in dump (wire) form.
+type FlightWireRec struct {
+	Kind    string      `json:"kind"`
+	Gen     int64       `json:"gen"`
+	Seq     int64       `json:"seq"`
+	Branch  int32       `json:"branch"`
+	Switch  int32       `json:"switch,omitempty"`
+	Epoch   int32       `json:"epoch"`
+	Version int32       `json:"version,omitempty"`
+	Host    string      `json:"host,omitempty"`
+	Events  []int       `json:"events,omitempty"`
+	Phase   string      `json:"phase,omitempty"`
+	From    int32       `json:"from,omitempty"`
+	To      int32       `json:"to,omitempty"`
+	Stats   *StatsDelta `json:"stats,omitempty"`
+}
+
+// FlightDump is the stitched recorder state. When any ring overflowed,
+// Truncated is set, TruncatedGen is the cutoff generation, and Records
+// holds only the complete suffix with Gen > TruncatedGen; Evicted
+// counts every record lost to overwriting or the cutoff filter.
+type FlightDump struct {
+	RingCap      int             `json:"ring_cap"`
+	Records      []FlightWireRec `json:"records"`
+	Truncated    bool            `json:"truncated,omitempty"`
+	TruncatedGen int64           `json:"truncated_gen,omitempty"`
+	Evicted      int64           `json:"evicted,omitempty"`
+}
+
+// Dump stitches every ring into canonical order. The caller must
+// guarantee worker-ring writers are quiescent (the engine runs Dump at
+// a barrier via Do); Serial writers need no coordination. The recorder
+// is not consumed: dumping is repeatable and never clears a ring.
+func (f *Flight) Dump() *FlightDump {
+	f.mu.Lock()
+	shards := make([]*FlightShard, 0, len(f.shards)+1)
+	shards = append(shards, f.shards...)
+	shards = append(shards, &f.serial)
+
+	var recs []FlightRec
+	evicted := int64(0)
+	cutGen := int64(-1)
+	truncated := false
+	for _, s := range shards {
+		n := int(s.n)
+		if n > len(s.recs) {
+			n = len(s.recs)
+		}
+		recs = append(recs, s.recs[:n]...)
+		if s.evicted > 0 {
+			truncated = true
+			evicted += s.evicted
+			if s.lastEvictGen > cutGen {
+				cutGen = s.lastEvictGen
+			}
+		}
+	}
+	f.mu.Unlock()
+
+	d := &FlightDump{RingCap: f.cap}
+	if truncated {
+		// Apply the generation cutoff: a shard that overflowed retains an
+		// unknown prefix of each generation at or below its watermark, but
+		// every generation above the *maximum* watermark is complete in
+		// every shard. Records at or below it are discarded (and counted)
+		// so the dump is a deterministic suffix, not a ragged sample.
+		kept := recs[:0]
+		for _, r := range recs {
+			if r.Gen > cutGen {
+				kept = append(kept, r)
+			} else {
+				evicted++
+			}
+		}
+		recs = kept
+		d.Truncated, d.TruncatedGen, d.Evicted = true, cutGen, evicted
+	}
+	slices.SortFunc(recs, func(a, b FlightRec) int {
+		if a.Gen != b.Gen {
+			return int(a.Gen - b.Gen)
+		}
+		if a.Seq != b.Seq {
+			return int(a.Seq - b.Seq)
+		}
+		if a.Kind != b.Kind {
+			return int(a.Kind) - int(b.Kind)
+		}
+		return int(a.Branch - b.Branch)
+	})
+	d.Records = make([]FlightWireRec, len(recs))
+	for i := range recs {
+		r := &recs[i]
+		d.Records[i] = FlightWireRec{
+			Kind: r.Kind.String(), Gen: r.Gen, Seq: r.Seq, Branch: r.Branch,
+			Switch: r.Switch, Epoch: r.Epoch, Version: r.Version,
+			Host: r.Host, Events: bitsetElems(r.Bits), Phase: r.Phase,
+			From: r.From, To: r.To, Stats: r.Stats,
+		}
+	}
+	return d
+}
+
+// bitsetElems decodes a little-endian bitset (the nes.Set encoding: 8
+// events per byte) into ascending event IDs. Kept local so obs stays
+// dependency-free; the encoding is pinned by internal/nes.
+func bitsetElems(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		for j := 0; j < 8; j++ {
+			if b&(1<<uint(j)) != 0 {
+				out = append(out, i*8+j)
+			}
+		}
+	}
+	return out
+}

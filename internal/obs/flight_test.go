@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFlightShardOverflow: the ring keeps the most recent records,
+// counts evictions, and tracks the newest evicted generation (the
+// truncation watermark).
+func TestFlightShardOverflow(t *testing.T) {
+	f := NewFlight(4, 1)
+	s := f.Shard(0)
+	for g := int64(1); g <= 10; g++ {
+		s.Add(FlightRec{Kind: FlightDeliver, Gen: g, Seq: g})
+	}
+	if s.evicted != 6 {
+		t.Errorf("evicted = %d, want 6", s.evicted)
+	}
+	if s.lastEvictGen != 6 {
+		t.Errorf("lastEvictGen = %d, want 6 (the newest overwritten record)", s.lastEvictGen)
+	}
+	if f.Evicted() != 6 {
+		t.Errorf("Flight.Evicted = %d, want 6", f.Evicted())
+	}
+	d := f.Dump()
+	if !d.Truncated || d.TruncatedGen != 6 {
+		t.Fatalf("dump truncation = (%v, gen %d), want (true, gen 6)", d.Truncated, d.TruncatedGen)
+	}
+	if len(d.Records) != 4 {
+		t.Fatalf("dump has %d records, want the 4 surviving (gens 7-10)", len(d.Records))
+	}
+	for i, r := range d.Records {
+		if want := int64(7 + i); r.Gen != want {
+			t.Errorf("record %d: gen %d, want %d", i, r.Gen, want)
+		}
+	}
+	if d.Evicted != 6 {
+		t.Errorf("dump Evicted = %d, want 6", d.Evicted)
+	}
+}
+
+// TestFlightDumpCutoffSpansShards: one overflowing shard truncates the
+// *whole* dump at its watermark — records other shards still hold below
+// the cutoff are discarded and counted, so the dump is a complete
+// suffix, never a ragged sample.
+func TestFlightDumpCutoffSpansShards(t *testing.T) {
+	f := NewFlight(4, 2)
+	a, b := f.Shard(0), f.Shard(1)
+	for g := int64(1); g <= 8; g++ {
+		a.Add(FlightRec{Kind: FlightDeliver, Gen: g, Seq: g})
+	}
+	// Shard b never overflows but holds old generations.
+	b.Add(FlightRec{Kind: FlightDeliver, Gen: 2, Seq: 100})
+	b.Add(FlightRec{Kind: FlightDeliver, Gen: 7, Seq: 101})
+	d := f.Dump()
+	if !d.Truncated || d.TruncatedGen != 4 {
+		t.Fatalf("truncation = (%v, gen %d), want (true, gen 4)", d.Truncated, d.TruncatedGen)
+	}
+	for _, r := range d.Records {
+		if r.Gen <= 4 {
+			t.Errorf("record at gen %d survived below the cutoff", r.Gen)
+		}
+	}
+	// 4 evicted by ring overwrite + shard a's gen<=4 survivors... all
+	// overwritten already; shard b contributes its gen-2 record to the
+	// cutoff count.
+	if d.Evicted != 5 {
+		t.Errorf("Evicted = %d, want 5 (4 overwritten + 1 cut)", d.Evicted)
+	}
+}
+
+// TestFlightSerial: serial records get a monotone Branch tiebreak, and
+// a negative Gen (the controller's stage phase has no engine generation
+// in hand) is backfilled with the newest generation seen, keeping ring
+// writes nondecreasing in Gen.
+func TestFlightSerial(t *testing.T) {
+	f := NewFlight(8, 0)
+	f.Serial(FlightRec{Kind: FlightSwap, Phase: "flip", Gen: 5})
+	f.Serial(FlightRec{Kind: FlightSwap, Phase: "stage", Gen: -1})
+	f.Serial(FlightRec{Kind: FlightStats, Gen: 7})
+	d := f.Dump()
+	if len(d.Records) != 3 {
+		t.Fatalf("dump has %d records, want 3", len(d.Records))
+	}
+	// Canonical order: gen 5 flip, gen 5 stage (backfilled), gen 7 stats.
+	if d.Records[0].Phase != "flip" || d.Records[0].Gen != 5 {
+		t.Errorf("record 0 = %+v, want the gen-5 flip", d.Records[0])
+	}
+	if d.Records[1].Phase != "stage" || d.Records[1].Gen != 5 {
+		t.Errorf("record 1 = %+v, want the stage backfilled to gen 5", d.Records[1])
+	}
+	if d.Records[0].Branch >= d.Records[1].Branch {
+		t.Errorf("serial Branch not monotone: %d then %d", d.Records[0].Branch, d.Records[1].Branch)
+	}
+	if d.Records[2].Kind != "stats" || d.Records[2].Gen != 7 {
+		t.Errorf("record 2 = %+v, want the gen-7 stats", d.Records[2])
+	}
+}
+
+// TestFlightDumpRepeatable: dumping does not consume the recorder.
+func TestFlightDumpRepeatable(t *testing.T) {
+	f := NewFlight(8, 1)
+	f.Shard(0).Add(FlightRec{Kind: FlightDetect, Gen: 1, Seq: 1, Bits: "\x05"})
+	a, _ := json.Marshal(f.Dump())
+	b, _ := json.Marshal(f.Dump())
+	if string(a) != string(b) {
+		t.Fatalf("repeated dumps differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestFlightBitsetDecode: detection records decode the raw nes.Set
+// bitset into ascending event IDs on the wire.
+func TestFlightBitsetDecode(t *testing.T) {
+	f := NewFlight(8, 1)
+	f.Shard(0).Add(FlightRec{Kind: FlightDetect, Gen: 1, Seq: 1, Bits: "\x05\x01"}) // bits 0,2,8
+	d := f.Dump()
+	got := d.Records[0].Events
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("Events = %v, want [0 2 8]", got)
+	}
+}
+
+// TestFlightShardAddDoesNotAllocate: the hot-path write contract. The
+// hop loop stays zero-alloc with the recorder on only if Add is a plain
+// store.
+func TestFlightShardAddDoesNotAllocate(t *testing.T) {
+	f := NewFlight(64, 1)
+	s := f.Shard(0)
+	r := FlightRec{Kind: FlightDeliver, Gen: 1, Seq: 2, Host: "H1"}
+	if n := testing.AllocsPerRun(1000, func() { s.Add(r) }); n != 0 {
+		t.Fatalf("FlightShard.Add allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestFlightDefaults: capacity defaulting and shard growth.
+func TestFlightDefaults(t *testing.T) {
+	f := NewFlight(0, 0)
+	if f.Cap() != DefaultFlightCap {
+		t.Errorf("Cap = %d, want DefaultFlightCap", f.Cap())
+	}
+	f.EnsureShards(3)
+	if f.Shard(2) == nil {
+		t.Error("EnsureShards(3) did not create shard 2")
+	}
+	if d := f.Dump(); len(d.Records) != 0 || d.Truncated {
+		t.Errorf("fresh recorder dumps %+v, want empty untruncated", d)
+	}
+}

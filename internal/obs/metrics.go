@@ -36,6 +36,7 @@ const (
 	CtrTraces          // stitched journeys emitted
 	CtrTracesTruncated // journeys emitted incomplete (ring drop or age-out)
 	CtrTraceRecDrops   // per-worker trace-ring overflow drops
+	CtrAlerts          // watchdog alerts raised
 	numCounters
 )
 
@@ -62,6 +63,7 @@ var counterNames = [numCounters]string{
 	CtrTraces:             "traces",
 	CtrTracesTruncated:    "traces_truncated",
 	CtrTraceRecDrops:      "trace_record_drops",
+	CtrAlerts:             "alerts",
 }
 
 var counterHelp = [numCounters]string{
@@ -87,6 +89,7 @@ var counterHelp = [numCounters]string{
 	CtrTraces:             "Sampled packet journeys stitched and emitted.",
 	CtrTracesTruncated:    "Journeys emitted incomplete (trace-ring drop or age-out).",
 	CtrTraceRecDrops:      "Trace hop records dropped to per-worker ring overflow.",
+	CtrAlerts:             "Watchdog alerts raised (transitions to firing, not boundaries spent firing).",
 }
 
 // Gauge identifies one point-in-time value, set at engine boundaries or
@@ -102,7 +105,11 @@ const (
 	GaugeFDDNodes             // compiler hash-consed node store size
 	GaugeStrands              // compiler distinct strand executions
 	GaugeWatchSubscribers
-	GaugeWatchDropped // events dropped across all /watch subscribers
+	GaugeWatchDropped  // events dropped across all /watch subscribers
+	GaugeTracePending  // journeys currently being stitched
+	GaugeTraceOrphans  // hop records whose journey was already evicted
+	GaugeFlightEvicted // flight records overwritten across all rings
+	GaugeAlertsActive  // watchdog alerts currently firing
 	numGauges
 )
 
@@ -116,6 +123,10 @@ var gaugeNames = [numGauges]string{
 	GaugeStrands:          "compiler_strands",
 	GaugeWatchSubscribers: "watch_subscribers",
 	GaugeWatchDropped:     "watch_dropped",
+	GaugeTracePending:     "trace_pending_journeys",
+	GaugeTraceOrphans:     "trace_orphan_records",
+	GaugeFlightEvicted:    "flight_evicted_records",
+	GaugeAlertsActive:     "alerts_active",
 }
 
 var gaugeHelp = [numGauges]string{
@@ -128,6 +139,10 @@ var gaugeHelp = [numGauges]string{
 	GaugeStrands:          "Distinct symbolic strand executions in the compiler cache.",
 	GaugeWatchSubscribers: "Active /watch stream subscribers.",
 	GaugeWatchDropped:     "Events dropped to slow /watch consumers (cumulative).",
+	GaugeTracePending:     "Sampled journeys currently being stitched.",
+	GaugeTraceOrphans:     "Trace hop records arriving after their journey was evicted (cumulative).",
+	GaugeFlightEvicted:    "Flight-recorder records overwritten across all rings (cumulative).",
+	GaugeAlertsActive:     "Watchdog alerts currently firing.",
 }
 
 // Hist identifies one fixed-bucket histogram. All histograms share the

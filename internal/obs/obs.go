@@ -43,6 +43,12 @@ type Obs struct {
 	Bus *Bus
 	// Trace samples packet journeys (nil = tracing off).
 	Trace *Tracer
+	// Flight is the always-on flight recorder: bounded per-worker rings
+	// of full-fidelity recent history, dumped on demand (nil = off).
+	Flight *Flight
+	// Watch derives alert events from metric deltas at chunk boundaries
+	// (nil = no watchdog). Requires Metrics to do anything.
+	Watch *Watchdog
 	// DeliverySample publishes every Nth host delivery on the Bus
 	// (0 = no delivery events). Sampling is counted over the merged
 	// per-worker logs at boundaries, so it costs the hop loop nothing.
@@ -51,5 +57,6 @@ type Obs struct {
 
 // Enabled reports whether any component is live.
 func (o *Obs) Enabled() bool {
-	return o != nil && (o.Metrics != nil || o.Bus != nil || o.Trace != nil)
+	return o != nil && (o.Metrics != nil || o.Bus != nil || o.Trace != nil ||
+		o.Flight != nil || o.Watch != nil)
 }

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// The estimator's contract: the error is bounded by the winning
+// bucket's width, a factor of two. Every test pins a known distribution
+// inside exactly that tolerance — an estimate outside (true/2, true*2]
+// means the wrong bucket won or the interpolation is broken.
+
+// withinBucket asserts the estimate lands in the bucket holding the
+// true value: (2^(k-1), 2^k] where k = bucketOf(true).
+func withinBucket(t *testing.T, what string, got float64, want int64) {
+	t.Helper()
+	b := bucketOf(want)
+	lo := float64(0)
+	if b > 0 {
+		lo = float64(BucketBound(b - 1))
+	}
+	hi := float64(BucketBound(b))
+	if got <= lo || got > hi {
+		t.Errorf("%s: estimate %.1f outside the true value's bucket (%.0f, %.0f] (true %d)", what, got, lo, hi, want)
+	}
+}
+
+// TestQuantilePointMass: every observation is the same value, so every
+// quantile must land in that value's bucket.
+func TestQuantilePointMass(t *testing.T) {
+	m := NewMetrics(0)
+	for i := 0; i < 1000; i++ {
+		m.Observe(HistHopNs, 100)
+	}
+	h := m.Histogram(HistHopNs)
+	if h.Total() != 1000 {
+		t.Fatalf("Total = %d, want 1000", h.Total())
+	}
+	for _, p := range []float64{0.01, 0.5, 0.99, 1} {
+		withinBucket(t, "point mass", h.Quantile(p), 100)
+	}
+	if got := h.Mean(); got != 100 {
+		t.Errorf("Mean = %v, want exactly 100 (the sum is tracked, not bucketed)", got)
+	}
+}
+
+// TestQuantileUniform: 1..1024 once each. The power-of-two layout makes
+// the interpolated estimates exact here: half of each bucket's range
+// holds half its mass.
+func TestQuantileUniform(t *testing.T) {
+	m := NewMetrics(0)
+	for v := int64(1); v <= 1024; v++ {
+		m.Observe(HistDeliveryNs, v)
+	}
+	h := m.Histogram(HistDeliveryNs)
+	if got := h.Quantile(0.5); got != 512 {
+		t.Errorf("uniform p50 = %v, want exactly 512", got)
+	}
+	p99 := h.Quantile(0.99)
+	withinBucket(t, "uniform p99", p99, 1014)
+	if math.Abs(p99-1013.76) > 0.01 {
+		t.Errorf("uniform p99 = %v, want 1013.76 (rank interpolation inside the top bucket)", p99)
+	}
+}
+
+// TestQuantileBimodal: a fast mode and a slow tail must be separated —
+// p50 reports the fast mode, p99 the tail.
+func TestQuantileBimodal(t *testing.T) {
+	m := NewMetrics(0)
+	for i := 0; i < 900; i++ {
+		m.Observe(HistHopNs, 10)
+	}
+	for i := 0; i < 100; i++ {
+		m.Observe(HistHopNs, 1000)
+	}
+	h := m.Histogram(HistHopNs)
+	withinBucket(t, "bimodal p50", h.Quantile(0.5), 10)
+	withinBucket(t, "bimodal p99", h.Quantile(0.99), 1000)
+}
+
+// TestQuantileEdges: empty histograms and out-of-range p must not
+// panic or produce garbage.
+func TestQuantileEdges(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+	h.Count[3] = 10 // all mass in (4, 8]
+	for _, p := range []float64{-1, 0, 1, 2} {
+		if got := h.Quantile(p); got < 4 || got > 8 {
+			t.Errorf("Quantile(%v) = %v, want within (4, 8]", p, got)
+		}
+	}
+}
+
+// TestHistogramSub: the windowed difference isolates what happened
+// between two snapshots — the basis of `netctl top`.
+func TestHistogramSub(t *testing.T) {
+	m := NewMetrics(0)
+	for i := 0; i < 100; i++ {
+		m.Observe(HistHopNs, 1000) // old epoch: slow
+	}
+	before := m.Histogram(HistHopNs)
+	for i := 0; i < 100; i++ {
+		m.Observe(HistHopNs, 10) // new window: fast
+	}
+	d := m.Histogram(HistHopNs).Sub(before)
+	if d.Total() != 100 {
+		t.Fatalf("windowed Total = %d, want 100", d.Total())
+	}
+	withinBucket(t, "windowed p99", d.Quantile(0.99), 10)
+	if got := d.Mean(); got != 10 {
+		t.Errorf("windowed Mean = %v, want 10", got)
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteRuntimeMetrics: the runtime exposition emits the documented
+// families in valid Prometheus text shape (every sample line's metric
+// has a TYPE header).
+func TestWriteRuntimeMetrics(t *testing.T) {
+	var b strings.Builder
+	if err := WriteRuntimeMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"eventnet_go_goroutines",
+		"eventnet_go_gc_cycles_total",
+		"eventnet_go_heap_objects_bytes",
+		"eventnet_go_gc_pause_p99_seconds",
+		"eventnet_go_sched_latency_p50_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s:\n%s", want, out)
+		}
+	}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 4 && f[0] == "#" && f[1] == "TYPE" {
+			typed[f[2]] = true
+			continue
+		}
+		if len(f) == 2 && !strings.HasPrefix(line, "#") {
+			name := f[0]
+			if !typed[name] {
+				t.Errorf("sample %q has no TYPE header", name)
+			}
+		}
+	}
+}

@@ -182,6 +182,10 @@ func (t *Tracer) Shard(i int) *TraceShard { return t.shards[i] }
 // Pending returns the number of journeys currently being stitched.
 func (t *Tracer) Pending() int { return len(t.pending) }
 
+// Orphans returns how many hop records arrived after their journey was
+// already evicted (cumulative). Serial context only, like Flush.
+func (t *Tracer) Orphans() int64 { return t.orphans }
+
 // Sample decides whether this injection is traced, returning its trace
 // ID (0 = untraced). Serial context only (the engine injects at
 // boundaries).
