@@ -87,7 +87,7 @@ func emit(name string, v any) {
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
-	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables, scale, scale-cores, throughput, swap, chaos, trace")
+	only := flag.String("only", "", "comma-separated subset: fig10..fig17, tables, scale, scale-cores, compile, throughput, swap, chaos, trace")
 	flag.BoolVar(&asJSON, "json", false, "emit one JSON object per experiment instead of text")
 	flag.Parse()
 
@@ -105,6 +105,15 @@ func main() {
 	}
 	if sel("scale") {
 		emit("scale", exp.TableCompileScale())
+	}
+	if sel("compile") {
+		swaps := 12
+		if *quick {
+			swaps = 6
+		}
+		res := exp.CompileBench(swaps)
+		emit("compile", res.Compile)
+		emit("compile-swap", res.Swap)
 	}
 	if sel("scale-cores") {
 		packets := 200000

@@ -170,6 +170,15 @@ func renderTop(out io.Writer, prev, cur *snapshot, dt time.Duration) {
 	}
 	fmt.Fprintln(out, strings.Join(hdr, "  "))
 
+	// Compiler memory line: only once the controller has compiled something
+	// (all three gauges stay zero until the first fresh build).
+	if cur.gauges["compiler_fdd_nodes"] > 0 || cur.gauges["compiler_arena_bytes"] > 0 {
+		fmt.Fprintf(out, "compiler: %d fdd nodes  %d interned  arena %s (hw %s)\n",
+			cur.gauges["compiler_fdd_nodes"], cur.gauges["compiler_intern_entries"],
+			fmtQ(float64(cur.gauges["compiler_arena_bytes"])),
+			fmtQ(float64(cur.gauges["compiler_arena_high_water_bytes"])))
+	}
+
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "HISTOGRAM\tRATE/S\tP50\tP99\tMEAN\tWINDOW")
 	for _, name := range topHists {

@@ -35,6 +35,7 @@ func main() {
 	initVec := flag.String("init", "0", "initial state vector for -src, e.g. 0,0")
 	ringD := flag.Int("diameter", 3, "ring diameter (for ring app/topology)")
 	capN := flag.Int("cap", 10, "bandwidth cap n")
+	arity := flag.Int("arity", 4, "fat-tree arity k for ids-fattree (k=10 is the 125-switch 10x workload)")
 	doOpt := flag.Bool("optimize", false, "run the Section 5.3 rule-sharing heuristic")
 	showTables := flag.Bool("tables", false, "print per-configuration flow tables")
 	unroll := flag.Int("unroll", 4, "unrolling bound for programs with state-graph loops")
@@ -50,7 +51,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	prog, tp, name, err := loadProgram(*appName, *srcPath, *topoName, *initVec, *ringD, *capN)
+	prog, tp, name, err := loadProgram(*appName, *srcPath, *topoName, *initVec, *ringD, *capN, *arity)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snkc:", err)
 		os.Exit(1)
@@ -121,7 +122,7 @@ func report(e *ets.ETS, name string, doOpt, showTables bool) {
 	}
 }
 
-func loadProgram(appName, srcPath, topoName, initVec string, ringD, capN int) (stateful.Program, *topo.Topology, string, error) {
+func loadProgram(appName, srcPath, topoName, initVec string, ringD, capN, arity int) (stateful.Program, *topo.Topology, string, error) {
 	if appName != "" {
 		var a apps.App
 		switch appName {
@@ -142,7 +143,7 @@ func loadProgram(appName, srcPath, topoName, initVec string, ringD, capN int) (s
 		case "distributed-firewall":
 			a = apps.DistributedFirewall()
 		case "ids-fattree":
-			a = apps.IDSFatTree(4)
+			a = apps.IDSFatTree(arity)
 		default:
 			return stateful.Program{}, nil, "", fmt.Errorf("unknown app %q", appName)
 		}

@@ -228,6 +228,13 @@ func (c *Controller) Compile(name string, p stateful.Program) (*Program, error) 
 		m.Add(obs.CtrCompileSegMisses, stats.Cache.SegmentMisses)
 		m.SetGauge(obs.GaugeFDDNodes, stats.Cache.FDDNodes)
 		m.SetGauge(obs.GaugeStrands, stats.Cache.Strands)
+		m.SetGauge(obs.GaugeInternEntries, stats.Cache.InternEntries)
+		m.SetGauge(obs.GaugeArenaBytes, stats.Cache.ArenaBytes)
+		hw := c.cache.ArenaHighWater() // cross-generation, survives cache resets
+		if stats.Cache.ArenaHighWater > hw {
+			hw = stats.Cache.ArenaHighWater
+		}
+		m.SetGauge(obs.GaugeArenaHighWater, hw)
 	}
 	c.mu.Lock()
 	c.progs = append(c.progs, g)

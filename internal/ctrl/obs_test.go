@@ -64,6 +64,15 @@ func TestControllerObsSwapPhases(t *testing.T) {
 	if o.Metrics.Gauge(obs.GaugeFDDNodes) == 0 {
 		t.Fatal("GaugeFDDNodes = 0 after two builds")
 	}
+	if o.Metrics.Gauge(obs.GaugeInternEntries) == 0 {
+		t.Fatal("GaugeInternEntries = 0 after two builds")
+	}
+	if o.Metrics.Gauge(obs.GaugeArenaBytes) == 0 {
+		t.Fatal("GaugeArenaBytes = 0 after two builds")
+	}
+	if hw, b := o.Metrics.Gauge(obs.GaugeArenaHighWater), o.Metrics.Gauge(obs.GaugeArenaBytes); hw < b {
+		t.Fatalf("GaugeArenaHighWater = %d below current arena %d", hw, b)
+	}
 
 	// Swapping back to the memoized firewall is an LRU hit: no new
 	// compile is recorded.

@@ -1,0 +1,23 @@
+package dataplane
+
+import (
+	"reflect"
+
+	"eventnet/internal/flowtable"
+)
+
+// LowerIRMatchesMap is the test hook for the flat-IR fast path: it lowers
+// the rule twice — once through its compiler-emitted IR and once with the
+// IR stripped, forcing the map-form rederivation — and reports whether
+// the two flat rules are identical. Rules without IR report false so the
+// property test also catches the compiler silently ceasing to emit it.
+func LowerIRMatchesMap(r *flowtable.Rule, s *Schema) bool {
+	if r.IR == nil {
+		return false
+	}
+	fast := lowerRule(r, s)
+	stripped := *r
+	stripped.IR = nil
+	slow := lowerRule(&stripped, s)
+	return reflect.DeepEqual(fast, slow)
+}

@@ -252,6 +252,10 @@ func lowerRule(r *flowtable.Rule, s *Schema) flatRule {
 	for _, p := range m.ExcludePorts {
 		fr.exPorts = append(fr.exPorts, int32(p))
 	}
+	if r.IR != nil {
+		lowerIR(&fr, r, s)
+		return fr
+	}
 	for _, f := range sortedFieldKeys(m.Fields) {
 		i := mustIndex(s, f)
 		fr.eqIdx = append(fr.eqIdx, i)
@@ -281,6 +285,39 @@ func lowerRule(r *flowtable.Rule, s *Schema) flatRule {
 		fr.groups = append(fr.groups, fg)
 	}
 	return fr
+}
+
+// lowerIR fills a flat rule's field literals and action groups from the
+// compiler's pre-sorted flat IR, skipping the map-form rederivation (key
+// gathering + sort.Strings per rule and per group) entirely. The IR
+// invariants — EqFields strictly ascending, Neq pairs sorted by (field,
+// value) with no entry for an Eq field, Groups parallel to Rule.Groups —
+// make this a straight array walk producing byte-for-byte the same flat
+// rule as the map path; TestLowerRuleIRMatchesMapPath holds the two
+// together.
+func lowerIR(fr *flatRule, r *flowtable.Rule, s *Schema) {
+	ir := r.IR
+	for fi, f := range ir.EqFields {
+		i := mustIndex(s, f)
+		fr.eqIdx = append(fr.eqIdx, i)
+		fr.eqVal = append(fr.eqVal, lowerValue(ir.EqValues[fi]))
+		fr.eqMask |= 1 << uint(i)
+	}
+	for fi, f := range ir.NeqFields {
+		fr.neqIdx = append(fr.neqIdx, mustIndex(s, f))
+		fr.neqVal = append(fr.neqVal, lowerValue(ir.NeqValues[fi]))
+	}
+	for gi := range ir.Groups {
+		g := &ir.Groups[gi]
+		fg := flatGroup{outPort: int32(r.Groups[gi].OutPort)}
+		for fi, f := range g.SetFields {
+			i := mustIndex(s, f)
+			fg.setIdx = append(fg.setIdx, i)
+			fg.setVal = append(fg.setVal, lowerValue(g.SetValues[fi]))
+			fg.setMask |= 1 << uint(i)
+		}
+		fr.groups = append(fr.groups, fg)
+	}
 }
 
 // lowerValue checks a rule/guard constant into the int32 flat-value

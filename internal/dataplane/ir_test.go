@@ -1,0 +1,47 @@
+package dataplane_test
+
+import (
+	"testing"
+
+	"eventnet/internal/dataplane"
+	"eventnet/internal/nkc"
+	"eventnet/internal/stateful"
+)
+
+// TestLowerRuleIRMatchesMapPath holds the flat-IR fast path and the
+// map-form lowering together: on every reachable state of every
+// application, every compiled rule carries a flat IR, and lowering
+// through it is identical to rederiving the sorted literal arrays from
+// the Match maps. This is the oracle that lets the hot path skip the
+// map-form intermediate.
+func TestLowerRuleIRMatchesMapPath(t *testing.T) {
+	for _, a := range propApps() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			states, _, err := a.Prog.ReachableStates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, st := range states {
+				pol := stateful.Project(a.Prog.Cmd, st)
+				tables, err := nkc.Compile(pol, a.Topo)
+				if err != nil {
+					t.Fatalf("state %v: %v", st, err)
+				}
+				schema := dataplane.SchemaForTables(tables)
+				for _, sw := range tables.Switches() {
+					for i := range tables[sw].Rules {
+						r := &tables[sw].Rules[i]
+						if r.IR == nil {
+							t.Fatalf("state %v sw %d rule %d: compiler emitted no flat IR", st, sw, i)
+						}
+						if !dataplane.LowerIRMatchesMap(r, schema) {
+							t.Fatalf("state %v sw %d rule %d: IR lowering diverges from map lowering\nrule: %+v\nIR: %+v",
+								st, sw, i, *r, *r.IR)
+						}
+					}
+				}
+			}
+		})
+	}
+}

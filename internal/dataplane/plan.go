@@ -250,7 +250,8 @@ func mergedInto(dst flowtable.Tables, n *nes.NES, off, bits int) flowtable.Table
 			for _, r := range t.Rules {
 				m := r.Match.Clone()
 				m.Guard = guard
-				rs = append(rs, flowtable.Rule{Priority: r.Priority, Match: m, Groups: r.Groups})
+				// The IR is guard-free, so the re-guarded copy shares it.
+				rs = append(rs, flowtable.Rule{Priority: r.Priority, Match: m, Groups: r.Groups, IR: r.IR})
 			}
 			dst.Get(sw).AddAll(rs)
 		}

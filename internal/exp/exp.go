@@ -479,11 +479,13 @@ func TableCompileScale() *Table {
 		Title:   "Scale sweep: incremental ETS compilation beyond the paper's sizes",
 		Columns: []string{"app", "states", "events", "compile_s", "rules", "seg_hit_pct", "strands", "fdd_nodes"},
 	}
-	for _, a := range apps.Scale() {
+	for _, a := range append(apps.Scale(), apps.Scale10()...) {
 		start := time.Now()
 		// One worker: cache attribution is per-worker, so the hit rates and
 		// store sizes in the tracked trajectory stay scheduling-independent
-		// and comparable across machines (docs/BENCHMARKS.md).
+		// and comparable across machines (docs/BENCHMARKS.md). The Scale10
+		// rows ride at the same worker count: the interned int-keyed memos
+		// make even bandwidth-cap-2000 a seconds-scale single-worker build.
 		e, stats, err := ets.BuildWithOptions(a.Prog, a.Topo, ets.Options{Workers: 1})
 		if err != nil {
 			panic(err)

@@ -68,19 +68,25 @@ func Swap(packets int) *SwapResult {
 	// stamps[id] records each injection's stamp; the injection itself is
 	// reconstructible from the repeating stream (audit bookkeeping must
 	// stay allocation-light so its GC debt does not land in the drain
-	// windows being measured). Mutated only inside e.Do (barrier-serial).
+	// windows being measured). The id counter, the batch construction that
+	// reads it, and the stamps append all run inside e.Do (barrier-serial):
+	// the transition phase calls injectBatch from the feeder goroutine and
+	// the swap loop concurrently, and the audit's stamps[i] <-> id i
+	// correspondence only holds if ids are allocated in the same serial
+	// order the stamps land.
 	var stamps []dataplane.Stamp
 	id := 0
 	injectBatch := func(k int) {
-		ins := make([]dataplane.Injection, k)
-		for j := 0; j < k; j++ {
-			in := stream[(id+j)%len(stream)]
-			f := in.Fields.Clone()
-			f["id"] = id + j
-			ins[j] = dataplane.Injection{Host: in.Host, Fields: f}
-		}
-		id += k
 		e.Do(func() {
+			base := id
+			id += k
+			ins := make([]dataplane.Injection, k)
+			for j := 0; j < k; j++ {
+				in := stream[(base+j)%len(stream)]
+				f := in.Fields.Clone()
+				f["id"] = base + j
+				ins[j] = dataplane.Injection{Host: in.Host, Fields: f}
+			}
 			sts, errs := e.InjectBatch(ins)
 			if errs != nil {
 				for _, err := range errs {

@@ -337,11 +337,46 @@ type Output struct {
 	Port int
 }
 
+// RuleIR is the compiler-emitted flat intermediate form of a rule: the
+// match's field literals and the groups' assignments as canonically
+// ordered parallel arrays. The FDD backend's table extraction walks
+// root-leaf paths in canonical test order (ports first, then fields
+// alphabetically with ascending values), so it can emit this form for
+// free; dataplane lowering then translates names to schema indices by
+// direct array walks instead of re-deriving the order from the match
+// maps with per-rule sorting. The map form on Match and Groups remains
+// authoritative — the scan reference plane and the rule algebra
+// (Intersect, Subsumes, the optimizer) read only the maps, and lowering
+// from the IR is property-tested equal to lowering from the maps.
+//
+// Invariants: EqFields is strictly ascending; (NeqFields[i],
+// NeqValues[i]) pairs are sorted by field then value, with no entry for
+// a field present in EqFields; Groups is parallel to Rule.Groups with
+// each SetFields sorted. An IR is immutable once attached and may be
+// shared across rule copies whose Match differs only in Guard (guards
+// and ports are lowered from the Match itself).
+type RuleIR struct {
+	EqFields  []string
+	EqValues  []int
+	NeqFields []string
+	NeqValues []int
+	Groups    []GroupIR
+}
+
+// GroupIR is one action group's assignments in flat form.
+type GroupIR struct {
+	SetFields []string
+	SetValues []int
+}
+
 // Rule is one prioritized match-action entry. Higher Priority wins.
+// IR, when non-nil, is the compiler's pre-lowered literal form (see
+// RuleIR); consumers must treat it as read-only.
 type Rule struct {
 	Priority int
 	Match    Match
 	Groups   []ActionGroup // empty means drop
+	IR       *RuleIR
 }
 
 // Key returns a canonical identity for the rule ignoring its version guard

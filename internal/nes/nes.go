@@ -64,6 +64,30 @@ type NES struct {
 	family     map[Set]int // event-set -> config index (the function g)
 	familyList []Set       // sorted for deterministic iteration
 	armed      sync.Map    // Set -> Set: ArmedFrom memo (see ArmedFrom)
+
+	idxOnce sync.Once // lazy inverted family index (see admitIdx)
+	idx     *admitIndex
+}
+
+// admitIndex is the inverted family index behind Admit: for each event,
+// the members containing it. Built lazily on the first replay (program
+// swaps are where large candidate sets appear) and read-only afterwards.
+type admitIndex struct {
+	occursIn [][]int32 // event ID -> ascending indices into familyList
+}
+
+// admitIdx returns the inverted family index, building it once.
+func (n *NES) admitIdx() *admitIndex {
+	n.idxOnce.Do(func() {
+		ix := &admitIndex{occursIn: make([][]int32, MaxEvents)}
+		for j, f := range n.familyList {
+			for _, e := range f.Elems() {
+				ix.occursIn[e] = append(ix.occursIn[e], int32(j))
+			}
+		}
+		n.idx = ix
+	})
+	return n.idx
 }
 
 // New builds an NES from the event universe, the family of event-sets
@@ -106,13 +130,14 @@ func (n *NES) Con(x Set) bool {
 
 // Enables is the enabling relation X ⊢ e. Unfolding the least-relation
 // definition in Section 3.1, X ⊢ e holds iff con(X) and some family member
-// F contains e with F \ {e} ⊆ X.
+// F contains e with F \ {e} ⊆ X — spelled as the allocation-free
+// F \ X ⊆ {e} so one call never materializes an intermediate set.
 func (n *NES) Enables(x Set, e int) bool {
 	if !n.Con(x) {
 		return false
 	}
 	for _, f := range n.familyList {
-		if f.Has(e) && f.Without(e).SubsetOf(x) {
+		if f.Has(e) && f.diffWithin(x, e) {
 			return true
 		}
 	}
@@ -137,17 +162,24 @@ func (n *NES) ConfigAt(x Set) (int, bool) {
 // probe instead of an Enables/Con enumeration per candidate event. The
 // memo is append-only and safe for concurrent use; a program's reachable
 // knowledge sets are bounded by its family, so it stays small.
+// A per-candidate Enables enumeration here would make a cache miss
+// O(|E| · |family|) set scans — seconds per fresh knowledge set at the
+// 10x program scale (bandwidth-cap-2000 has 2002 events, and every
+// event firing creates a fresh knowledge set). Instead one pass over
+// the family collects exactly the enabled events: for e ∉ known,
+// known ⊢ e ⇔ some member F has F \ known = {e} (the F \ known = ∅
+// case would put e inside known). Only the consistency of each
+// candidate is checked individually, and candidates are few.
 func (n *NES) ArmedFrom(known Set) Set {
 	if a, ok := n.armed.Load(known); ok {
 		return a.(Set)
 	}
 	out := Empty
-	for _, ev := range n.Events {
-		if known.Has(ev.ID) {
-			continue
-		}
-		if n.Enables(known, ev.ID) && n.Con(known.With(ev.ID)) {
-			out = out.With(ev.ID)
+	if n.Con(known) {
+		for _, f := range n.familyList {
+			if e, ok := f.minusSingleton(known); ok && !out.Has(e) && n.Con(known.With(e)) {
+				out = out.With(e)
+			}
 		}
 	}
 	a, _ := n.armed.LoadOrStore(known, out)
@@ -192,17 +224,70 @@ func (n *NES) Replay(candidates Set) Set {
 // grows monotonically — admission can never invalidate knowledge the view
 // already has — which is what makes the live-mapping rule of a program
 // swap sound while the view keeps evolving.
+// Admit runs in counting form: a direct Enables/Con per candidate per
+// pass is O(|C|² · |family|) set scans — seconds for the thousands of
+// carried events a 10x-scale swap replays at its flip barrier. Instead
+// the family is folded once into per-member deficits (|F \ view|,
+// maintained incrementally as admissions land) so both predicates
+// become walks of the members containing the candidate:
+//
+//	view ⊢ e           ⇔  some F ∋ e has |F \ view| = 1 (that one is e)
+//	con(view ∪ {e})    ⇔  some F ∋ e has view ⊆ F
+//
+// The traversal order (ascending-ID passes to a fixpoint) is exactly
+// the definition above, so the admitted set is unchanged.
 func (n *NES) Admit(view, candidates Set) Set {
+	els := candidates.Elems()
+	if len(els) == 0 {
+		return view
+	}
+	ix := n.admitIdx()
+	deficit := make([]int32, len(n.familyList)) // |F_j \ view| at entry
+	viewIn := make([]bool, len(n.familyList))   // view ⊆ F_j at entry
+	conView := false
+	for j, f := range n.familyList {
+		deficit[j] = int32(f.MinusCount(view))
+		viewIn[j] = view.SubsetOf(f)
+		conView = conView || viewIn[j]
+	}
+	if !conView {
+		return view // inconsistent views enable nothing
+	}
+	inview := make([]int32, len(n.familyList)) // admitted events inside F_j
+	var admitted int32
 	for {
 		changed := false
-		for _, e := range candidates.Elems() {
-			if view.Has(e) {
+		for _, e := range els {
+			if view.Has(e) || e >= len(ix.occursIn) {
 				continue
 			}
-			if n.Enables(view, e) && n.Con(view.With(e)) {
-				view = view.With(e)
-				changed = true
+			occ := ix.occursIn[e]
+			enabled := false
+			for _, j := range occ {
+				if deficit[j]-inview[j] == 1 {
+					enabled = true
+					break
+				}
 			}
+			if !enabled {
+				continue
+			}
+			con := false
+			for _, j := range occ {
+				if viewIn[j] && inview[j] == admitted {
+					con = true
+					break
+				}
+			}
+			if !con {
+				continue
+			}
+			view = view.With(e)
+			admitted++
+			for _, j := range occ {
+				inview[j]++
+			}
+			changed = true
 		}
 		if !changed {
 			return view

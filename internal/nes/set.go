@@ -185,6 +185,61 @@ func (s Set) Elems() []int {
 	return out
 }
 
+// MinusCount returns |s \ t| without allocating.
+func (s Set) MinusCount(t Set) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		var tb byte
+		if i < len(t) {
+			tb = t[i]
+		}
+		n += bits.OnesCount8(s[i] &^ tb)
+	}
+	return n
+}
+
+// diffWithin reports s \ t ⊆ {e} without allocating — the inner
+// predicate of the enabling relation (f.Without(e).SubsetOf(x) spelled
+// so the hot detection path never materializes the intermediate set).
+func (s Set) diffWithin(t Set, e int) bool {
+	ei, eb := e/8, byte(1)<<uint(e%8)
+	for i := 0; i < len(s); i++ {
+		var tb byte
+		if i < len(t) {
+			tb = t[i]
+		}
+		d := s[i] &^ tb
+		if i == ei {
+			d &^= eb
+		}
+		if d != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// minusSingleton returns (e, true) when s \ t is exactly the singleton
+// {e}, allocation-free. One pass over a family with this predicate
+// yields every event the knowledge set t enables: F \ t = {e} ⇔ t ⊢ e
+// for e ∉ t (see NES.ArmedFrom).
+func (s Set) minusSingleton(t Set) (int, bool) {
+	e, cnt := -1, 0
+	for i := 0; i < len(s); i++ {
+		var tb byte
+		if i < len(t) {
+			tb = t[i]
+		}
+		for d := s[i] &^ tb; d != 0; d &= d - 1 {
+			if cnt++; cnt > 1 {
+				return -1, false
+			}
+			e = i*8 + bits.TrailingZeros8(d)
+		}
+	}
+	return e, cnt == 1
+}
+
 // trim drops trailing zero bytes, restoring canonical form.
 func trim(b []byte) []byte {
 	n := len(b)

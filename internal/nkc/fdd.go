@@ -22,7 +22,6 @@ package nkc
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 
 	"eventnet/internal/flowtable"
@@ -56,11 +55,14 @@ func testLess(f1 string, v1 int, f2 string, v2 int) bool {
 
 // Action is an interned simultaneous assignment of constants to fields
 // (the paper's "complete test/assignment" atoms, restricted to the fields
-// actually written). The empty Action is the identity.
+// actually written). The empty Action is the identity. Actions are
+// interned per context under a packed binary (fieldID, value) key, so
+// the dense id is a sound identity everywhere a rendered string used to
+// be.
 type Action struct {
-	id   int
-	sets map[string]int
-	key  string
+	id     int
+	sets   map[string]int
+	fields []string // sorted; cached at intern time
 }
 
 // Get returns the value the action assigns to f, if any.
@@ -71,12 +73,7 @@ func (a *Action) Get(f string) (int, bool) {
 
 // Fields returns the assigned fields in sorted order.
 func (a *Action) Fields() []string {
-	fs := make([]string, 0, len(a.sets))
-	for f := range a.sets {
-		fs = append(fs, f)
-	}
-	sort.Strings(fs)
-	return fs
+	return append([]string{}, a.fields...)
 }
 
 // Sets returns a copy of the assignment map.
@@ -163,22 +160,34 @@ func (d *FDD) String() string {
 	return b.String()
 }
 
+// nodeKey identifies a test node by its packed (field, value) atom and
+// child ids — three machine words, no string hashing on the consing
+// path.
 type nodeKey struct {
-	field      string
-	value      int
+	atom       uint64
 	hiID, loID int
 }
 
 type fddPair struct{ a, b int }
 
 // FDDCtx owns the hash-consing tables and combinator memos for one
-// compilation. A context is not safe for concurrent use; parallel
-// compiles (e.g. the per-state worker pool in internal/ets) each build
-// their own.
+// compilation. Nodes live in a chunked arena (intern.go); every cache
+// below is keyed by dense ids or packed atoms, never by rendered text.
+// A context is not safe for concurrent use; parallel compiles (e.g. the
+// per-state worker pool in internal/ets) each build their own.
 type FDDCtx struct {
-	nextID  int
-	nodes   map[nodeKey]*FDD
-	leaves  map[string]*FDD
+	arena  fddArena
+	nextID int
+	fields fieldIntern
+	nodes  map[nodeKey]*FDD
+
+	// leaf1 interns the common single-action leaves by action id; leafN
+	// interns multicast leaves by their packed sorted action-id bytes.
+	leaf1 map[int]*FDD
+	leafN map[string]*FDD
+
+	// actions interns assignment sets by packed (fieldID, value) pairs
+	// in sorted-field order.
 	actions map[string]*Action
 
 	unionMemo map[fddPair]*FDD
@@ -190,16 +199,21 @@ type FDDCtx struct {
 	// hopCache memoizes symbolic strand execution (fdd_table.go) across
 	// compiles sharing this context: policies projected from different
 	// states of one program repeat most strands verbatim. Each cached hop
-	// carries its prebuilt single-rule diagram.
+	// carries its prebuilt single-rule diagram. Keys are packed id bytes
+	// (strandCacheKey).
 	hopCache map[string][]cachedHop
 
 	// foldCache memoizes the per-switch union fold over hop diagrams by
-	// the hop identity sequence, and ruleCache memoizes table extraction
-	// by switch-diagram identity: states with the same per-switch
-	// behavior share one fold and one extraction. The cached rules (and
-	// their inner maps) are shared and must be treated as immutable.
+	// the packed hop identity sequence, and ruleCache memoizes table
+	// extraction by switch-diagram identity: states with the same
+	// per-switch behavior share one fold and one extraction. The cached
+	// rules (and their inner maps) are shared and must be treated as
+	// immutable.
 	foldCache map[string]*FDD
 	ruleCache map[int][]flowtable.Rule
+
+	// scratch buffers reused across intern/key construction calls.
+	keyBuf []byte
 
 	// ID is the identity diagram (leaf {id}); Drop is the empty leaf.
 	ID   *FDD
@@ -210,8 +224,10 @@ type FDDCtx struct {
 // NewFDDCtx returns a fresh hash-consing context.
 func NewFDDCtx() *FDDCtx {
 	c := &FDDCtx{
+		fields:    newFieldIntern(),
 		nodes:     map[nodeKey]*FDD{},
-		leaves:    map[string]*FDD{},
+		leaf1:     map[int]*FDD{},
+		leafN:     map[string]*FDD{},
 		actions:   map[string]*Action{},
 		unionMemo: map[fddPair]*FDD{},
 		seqMemo:   map[fddPair]*FDD{},
@@ -236,31 +252,50 @@ func (c *FDDCtx) NodeCount() int { return c.nextID }
 // memoized so far.
 func (c *FDDCtx) StrandCount() int { return len(c.hopCache) }
 
-// internAction canonicalizes an assignment map.
+// ArenaBytes returns the slab bytes reserved by the node arena.
+func (c *FDDCtx) ArenaBytes() int64 { return c.arena.bytes() }
+
+// AtomCount returns the number of interned field atoms plus actions —
+// the per-context interner population reported by CacheStats.
+func (c *FDDCtx) AtomCount() int { return c.fields.len() + len(c.actions) }
+
+// internAction canonicalizes an assignment map under a packed binary
+// key: sorted field ids and values, 8 bytes per assignment, no decimal
+// rendering.
 func (c *FDDCtx) internAction(sets map[string]int) *Action {
 	fs := make([]string, 0, len(sets))
 	for f := range sets {
+		checkAtomValue(sets[f])
 		fs = append(fs, f)
 	}
 	sort.Strings(fs)
-	buf := make([]byte, 0, 16*len(fs))
+	buf := c.keyBuf[:0]
 	for _, f := range fs {
-		buf = append(buf, f...)
-		buf = append(buf, '<', '-')
-		buf = strconv.AppendInt(buf, int64(sets[f]), 10)
-		buf = append(buf, ';')
+		buf = appendUint64(buf, packAtom(c.fields.id(f), sets[f]))
 	}
-	key := string(buf)
-	if a, ok := c.actions[key]; ok {
+	c.keyBuf = buf
+	if a, ok := c.actions[string(buf)]; ok {
 		return a
 	}
 	cp := make(map[string]int, len(sets))
 	for f, v := range sets {
 		cp[f] = v
 	}
-	a := &Action{id: len(c.actions), sets: cp, key: key}
-	c.actions[key] = a
+	a := &Action{id: len(c.actions), sets: cp, fields: fs}
+	c.actions[string(buf)] = a
 	return a
+}
+
+// appendUint64 appends v big-endian.
+func appendUint64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// appendID appends a dense id as 4 little-endian bytes (ids are bounded
+// by store sizes, far below 2^32).
+func appendID(b []byte, id int) []byte {
+	return append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 }
 
 // compose sequences two actions: b's assignments override a's.
@@ -279,23 +314,25 @@ func (c *FDDCtx) compose(a, b *Action) *Action {
 }
 
 // mkLeaf interns a leaf with the canonical (sorted, deduplicated) form of
-// the given action set.
+// the given action set. Single-action leaves — the overwhelmingly common
+// case — are an int-keyed lookup; multicast leaves key on packed sorted
+// action ids. Action ids are assigned at intern time, so sorting by id is
+// deterministic for a deterministic compile sequence, and extraction
+// re-sorts groups canonically anyway.
 func (c *FDDCtx) mkLeaf(acts []*Action) *FDD {
 	if len(acts) == 0 && c.Drop != nil {
 		return c.Drop
 	}
 	if len(acts) == 1 {
-		key := acts[0].key + "|"
-		if d, ok := c.leaves[key]; ok {
+		if d, ok := c.leaf1[acts[0].id]; ok {
 			return d
 		}
-		d := &FDD{id: c.nextID, leaf: true, acts: []*Action{acts[0]}}
-		c.nextID++
-		c.leaves[key] = d
+		d := c.newLeaf([]*Action{acts[0]})
+		c.leaf1[acts[0].id] = d
 		return d
 	}
 	sorted := append([]*Action{}, acts...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].key < sorted[j].key })
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].id < sorted[j].id })
 	uniq := sorted[:0]
 	var prev *Action
 	for _, a := range sorted {
@@ -307,18 +344,25 @@ func (c *FDDCtx) mkLeaf(acts []*Action) *FDD {
 	if len(uniq) == 1 {
 		return c.mkLeaf(uniq[:1])
 	}
-	buf := make([]byte, 0, 32)
+	buf := c.keyBuf[:0]
 	for _, a := range uniq {
-		buf = append(buf, a.key...)
-		buf = append(buf, '|')
+		buf = appendID(buf, a.id)
 	}
-	key := string(buf)
-	if d, ok := c.leaves[key]; ok {
+	c.keyBuf = buf
+	if d, ok := c.leafN[string(buf)]; ok {
 		return d
 	}
-	d := &FDD{id: c.nextID, leaf: true, acts: append([]*Action{}, uniq...)}
-	c.nextID++
-	c.leaves[key] = d
+	d := c.newLeaf(append([]*Action{}, uniq...))
+	c.leafN[string(buf)] = d
+	return d
+}
+
+// newLeaf allocates a leaf node from the arena.
+func (c *FDDCtx) newLeaf(acts []*Action) *FDD {
+	d := c.arena.alloc()
+	c.nextID = c.arena.n
+	d.leaf = true
+	d.acts = acts
 	return d
 }
 
@@ -327,12 +371,17 @@ func (c *FDDCtx) mkNode(field string, value int, hi, lo *FDD) *FDD {
 	if hi == lo {
 		return hi
 	}
-	k := nodeKey{field: field, value: value, hiID: hi.id, loID: lo.id}
+	checkAtomValue(value)
+	k := nodeKey{atom: packAtom(c.fields.id(field), value), hiID: hi.id, loID: lo.id}
 	if d, ok := c.nodes[k]; ok {
 		return d
 	}
-	d := &FDD{id: c.nextID, field: field, value: value, hi: hi, lo: lo}
-	c.nextID++
+	d := c.arena.alloc()
+	c.nextID = c.arena.n
+	d.field = field
+	d.value = value
+	d.hi = hi
+	d.lo = lo
 	c.nodes[k] = d
 	return d
 }

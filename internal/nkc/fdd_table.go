@@ -13,7 +13,6 @@ package nkc
 import (
 	"fmt"
 	"sort"
-	"strconv"
 
 	"eventnet/internal/flowtable"
 	"eventnet/internal/netkat"
@@ -245,26 +244,23 @@ type cachedHop struct {
 
 // strandCacheKey identifies a strand by its segment diagram identities
 // (stable within one context), its links, and the topology's switch set.
+// The key is packed binary — 4 bytes per id — with length-prefixed
+// sections so the three variable-length parts cannot alias each other.
 func strandCacheKey(fdds []*FDD, links []netkat.Link, switches []int) string {
-	buf := make([]byte, 0, 8*len(fdds)+20*len(links)+4*len(switches))
+	buf := make([]byte, 0, 4*len(fdds)+16*len(links)+4*len(switches)+8)
+	buf = appendID(buf, len(fdds))
 	for _, d := range fdds {
-		buf = strconv.AppendInt(buf, int64(d.id), 10)
-		buf = append(buf, ',')
+		buf = appendID(buf, d.id)
 	}
+	buf = appendID(buf, len(links))
 	for _, l := range links {
-		buf = append(buf, ';')
-		buf = strconv.AppendInt(buf, int64(l.Src.Switch), 10)
-		buf = append(buf, ':')
-		buf = strconv.AppendInt(buf, int64(l.Src.Port), 10)
-		buf = append(buf, '>')
-		buf = strconv.AppendInt(buf, int64(l.Dst.Switch), 10)
-		buf = append(buf, ':')
-		buf = strconv.AppendInt(buf, int64(l.Dst.Port), 10)
+		buf = appendID(buf, l.Src.Switch)
+		buf = appendID(buf, l.Src.Port)
+		buf = appendID(buf, l.Dst.Switch)
+		buf = appendID(buf, l.Dst.Port)
 	}
-	buf = append(buf, '@')
 	for _, sw := range switches {
-		buf = strconv.AppendInt(buf, int64(sw), 10)
-		buf = append(buf, ',')
+		buf = appendID(buf, sw)
 	}
 	return string(buf)
 }
@@ -321,7 +317,7 @@ func assembleTablesFDD(c *FDDCtx, hops []cachedHop) (flowtable.Tables, error) {
 	perSwitchIDs := map[int][]byte{}
 	perSwitchHops := map[int][]*FDD{}
 	for _, h := range hops {
-		perSwitchIDs[h.sw] = strconv.AppendInt(append(perSwitchIDs[h.sw], ','), int64(h.d.id), 10)
+		perSwitchIDs[h.sw] = appendID(perSwitchIDs[h.sw], h.d.id)
 		perSwitchHops[h.sw] = append(perSwitchHops[h.sw], h.d)
 	}
 	perSwitch := map[int]*FDD{}
@@ -383,6 +379,14 @@ func extractRules(d *FDD) ([]flowtable.Rule, error) {
 				return nil
 			}
 			m := flowtable.Match{InPort: flowtable.Wildcard, Fields: map[string]int{}, Excludes: map[string][]int{}}
+			// The literal stack arrives in canonical test order (ports
+			// first, then fields alphabetically with ascending values), so
+			// the flat IR is emitted directly: equality fields come out
+			// strictly ascending and exclusion pairs sorted by (field,
+			// value). An equality on a field supersedes its accumulated
+			// exclusions — in a canonical path those are exactly the
+			// contiguous tail entries for that field.
+			ir := &flowtable.RuleIR{}
 			for _, l := range lits {
 				switch {
 				case l.f == netkat.FieldPt && l.eq:
@@ -392,8 +396,16 @@ func extractRules(d *FDD) ([]flowtable.Rule, error) {
 				case l.eq:
 					m.Fields[l.f] = l.v
 					delete(m.Excludes, l.f) // the equality subsumes prior exclusions
+					for k := len(ir.NeqFields); k > 0 && ir.NeqFields[k-1] == l.f; k = len(ir.NeqFields) {
+						ir.NeqFields = ir.NeqFields[:k-1]
+						ir.NeqValues = ir.NeqValues[:k-1]
+					}
+					ir.EqFields = append(ir.EqFields, l.f)
+					ir.EqValues = append(ir.EqValues, l.v)
 				default:
 					m.Excludes[l.f] = append(m.Excludes[l.f], l.v)
+					ir.NeqFields = append(ir.NeqFields, l.f)
+					ir.NeqValues = append(ir.NeqValues, l.v)
 				}
 			}
 			if m.InPort != flowtable.Wildcard {
@@ -412,7 +424,19 @@ func extractRules(d *FDD) ([]flowtable.Rule, error) {
 				groups = append(groups, flowtable.ActionGroup{Sets: sets, OutPort: out})
 			}
 			sort.Slice(groups, func(i, j int) bool { return groups[i].Key() < groups[j].Key() })
-			rules = append(rules, flowtable.Rule{Priority: m.Specificity(), Match: m, Groups: groups})
+			for gi := range groups {
+				g := flowtable.GroupIR{SetFields: make([]string, 0, len(groups[gi].Sets))}
+				for f := range groups[gi].Sets {
+					g.SetFields = append(g.SetFields, f)
+				}
+				sort.Strings(g.SetFields)
+				g.SetValues = make([]int, len(g.SetFields))
+				for fi, f := range g.SetFields {
+					g.SetValues[fi] = groups[gi].Sets[f]
+				}
+				ir.Groups = append(ir.Groups, g)
+			}
+			rules = append(rules, flowtable.Rule{Priority: m.Specificity(), Match: m, Groups: groups, IR: ir})
 			return nil
 		}
 		if n.field == netkat.FieldSw {

@@ -28,6 +28,8 @@ package nkc
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"eventnet/internal/flowtable"
 	"eventnet/internal/netkat"
@@ -200,20 +202,46 @@ func assembleCmdStrand(es []cmdElement) progStrand {
 	return s
 }
 
-// segMemoKey identifies a segment FDD structurally: the segment's
-// canonical rendering plus the truth vector of the state tests inside
-// it. The pair determines the projected policy exactly, so the key is
-// sound across states, across compiler generations, and across
-// different programs sharing an FDD context (nkc.ProgramCache).
+// segMemoKey identifies a segment FDD structurally: the interned id of
+// the segment's canonical rendering plus the packed truth vector of the
+// state tests inside it. The pair determines the projected policy
+// exactly, so the key is sound across states, across compiler
+// generations, and across different programs sharing an FDD context and
+// interner (nkc.ProgramCache): the interner never reuses ids, so equal
+// keys imply equal (rendering, truth vector) pairs. sig is tagged in
+// its low bit — segments with at most 63 guards pack their truth bits
+// inline (tag 1); larger segments intern the packed bytes and carry the
+// dense id (tag 0) — so the two encodings cannot alias.
 type segMemoKey struct {
-	key string
-	sig string
+	key uint32
+	sig uint64
+}
+
+// compilerInterns groups the concurrency-safe interners shared by every
+// fork of one ProgramCompiler — and, through ProgramCache, by every
+// cached program of one cache generation. Sharing is what lets the
+// SharedCache key on dense signature ids: all workers agree on the id
+// of a signature because they intern through the same table.
+type compilerInterns struct {
+	segKeys *Interner // segment canonical rendering -> id
+	sigs    *Interner // whole-program guard signature -> id
+	segSigs *Interner // oversized per-segment signature bytes -> id
+}
+
+func newCompilerInterns() *compilerInterns {
+	return &compilerInterns{segKeys: NewInterner(), sigs: NewInterner(), segSigs: NewInterner()}
+}
+
+// entries returns the total interner population.
+func (ci *compilerInterns) entries() int {
+	return ci.segKeys.Len() + ci.sigs.Len() + ci.segSigs.Len()
 }
 
 // ProgramCompiler compiles the per-state configurations of one Stateful
 // NetKAT program incrementally. It is not safe for concurrent use; a
-// worker pool gives each worker its own ProgramCompiler and connects them
-// through one SharedCache.
+// worker pool gives each worker its own ProgramCompiler and connects
+// them through one SharedCache (CompileAll arranges exactly that), with
+// the interners shared so signature ids agree across workers.
 type ProgramCompiler struct {
 	cmd     stateful.Cmd
 	topo    *topo.Topology
@@ -223,9 +251,16 @@ type ProgramCompiler struct {
 	strands []progStrand
 	guards  *stateful.GuardIndex // whole-program index
 
+	intern     *compilerInterns
+	segKeyIDs  []uint32  // per segment id: interned rendering
+	segTestPos [][]int32 // per segment id: positions of its guards in the whole-program index
+
 	segMemo map[segMemoKey]*FDD
-	local   map[string]flowtable.Tables // guard signature -> tables
+	local   map[uint32]flowtable.Tables // interned signature id -> tables
 	shared  *SharedCache
+
+	sigScratch []byte // whole-program signature buffer, reused per state
+	gatherBuf  []byte // oversized segment signature buffer
 
 	stats CacheStats
 }
@@ -249,7 +284,8 @@ func NewProgramCompilerWith(b Backend, c stateful.Cmd, t *topo.Topology, sc *Sha
 		return nil, err
 	}
 	pc.guards = stateful.CollectGuards(c)
-	pc.local = map[string]flowtable.Tables{}
+	pc.local = map[uint32]flowtable.Tables{}
+	pc.intern = newCompilerInterns()
 	if b == BackendDNF {
 		return pc, nil
 	}
@@ -260,23 +296,70 @@ func NewProgramCompilerWith(b Backend, c stateful.Cmd, t *topo.Topology, sc *Sha
 	pc.ctx = NewFDDCtx()
 	pc.strands = strands
 	pc.segMemo = map[segMemoKey]*FDD{}
+	pc.indexSegments()
 	return pc, nil
+}
+
+// indexSegments computes the per-segment interned key ids and the
+// positions of each segment's guards within the whole-program index.
+// Both are pure functions of the skeleton: forks share the resulting
+// slices, and adoptInterns recomputes the ids when a ProgramCache swaps
+// in its persistent interner.
+func (pc *ProgramCompiler) indexSegments() {
+	pos := map[stateful.GuardTest]int32{}
+	for i, t := range pc.guards.Tests() {
+		pos[t] = int32(i)
+	}
+	nsegs := 0
+	for _, s := range pc.strands {
+		nsegs += len(s.segs)
+	}
+	pc.segKeyIDs = make([]uint32, nsegs)
+	pc.segTestPos = make([][]int32, nsegs)
+	for _, s := range pc.strands {
+		for _, seg := range s.segs {
+			pc.segKeyIDs[seg.id] = pc.intern.segKeys.ID(seg.key)
+			tests := seg.guards.Tests()
+			ps := make([]int32, len(tests))
+			for i, t := range tests {
+				ps[i] = pos[t]
+			}
+			pc.segTestPos[seg.id] = ps
+		}
+	}
+}
+
+// adoptInterns re-homes the compiler onto a shared interner set (the
+// ProgramCache's persistent one), recomputing the interned segment key
+// ids so segMemo keys stay consistent with every other program sharing
+// the interner.
+func (pc *ProgramCompiler) adoptInterns(in *compilerInterns) {
+	pc.intern = in
+	for _, s := range pc.strands {
+		for _, seg := range s.segs {
+			pc.segKeyIDs[seg.id] = in.segKeys.ID(seg.key)
+		}
+	}
 }
 
 // Fork returns a compiler for use on another goroutine of a worker
 // pool: it shares this compiler's immutable program skeleton (validated
-// command, strands with their guard indexes, backend, shared cache) but
-// owns a fresh hash-consing context and memos, so the per-program
-// extraction work is paid once per pool rather than once per worker.
+// command, strands with their guard indexes, segment index, backend,
+// interners, shared cache) but owns a fresh hash-consing context and
+// memos, so the per-program extraction work is paid once per pool
+// rather than once per worker.
 func (pc *ProgramCompiler) Fork() *ProgramCompiler {
 	n := &ProgramCompiler{
-		cmd:     pc.cmd,
-		topo:    pc.topo,
-		backend: pc.backend,
-		shared:  pc.shared,
-		strands: pc.strands,
-		guards:  pc.guards,
-		local:   map[string]flowtable.Tables{},
+		cmd:        pc.cmd,
+		topo:       pc.topo,
+		backend:    pc.backend,
+		shared:     pc.shared,
+		strands:    pc.strands,
+		guards:     pc.guards,
+		intern:     pc.intern,
+		segKeyIDs:  pc.segKeyIDs,
+		segTestPos: pc.segTestPos,
+		local:      map[uint32]flowtable.Tables{},
 	}
 	if pc.backend != BackendDNF {
 		n.ctx = NewFDDCtx()
@@ -292,15 +375,55 @@ func (pc *ProgramCompiler) Stats() CacheStats {
 	if pc.ctx != nil {
 		s.Strands = int64(pc.ctx.StrandCount())
 		s.FDDNodes = int64(pc.ctx.NodeCount())
+		s.ArenaBytes = pc.ctx.ArenaBytes()
+		s.ArenaHighWater = s.ArenaBytes
+		s.InternEntries = int64(pc.ctx.AtomCount())
+	}
+	if pc.intern != nil {
+		s.InternEntries += int64(pc.intern.entries())
 	}
 	return s
+}
+
+// segSig packs the truth vector of segment segID's guards under the
+// whole-program signature bytes into the tagged segMemoKey.sig form:
+// segments with at most 63 guards carry their bits inline (low tag bit
+// 1); larger segments intern the gathered bytes (low tag bit 0).
+func (pc *ProgramCompiler) segSig(segID int, whole []byte) uint64 {
+	pos := pc.segTestPos[segID]
+	if len(pos) <= 63 {
+		var bits uint64
+		for i, p := range pos {
+			if whole[p>>3]&(1<<uint(p&7)) != 0 {
+				bits |= 1 << uint(i)
+			}
+		}
+		return bits<<1 | 1
+	}
+	buf := pc.gatherBuf[:0]
+	var b byte
+	for i, p := range pos {
+		if whole[p>>3]&(1<<uint(p&7)) != 0 {
+			b |= 1 << uint(i%8)
+		}
+		if i%8 == 7 {
+			buf = append(buf, b)
+			b = 0
+		}
+	}
+	if len(pos)%8 != 0 {
+		buf = append(buf, b)
+	}
+	pc.gatherBuf = buf
+	return uint64(pc.intern.segSigs.IDBytes(buf)) << 1
 }
 
 // Compile returns the flow tables of the configuration projected at state
 // k. The result must be treated as immutable: it may be shared with other
 // states, other workers (via the SharedCache), and later calls.
 func (pc *ProgramCompiler) Compile(k stateful.State) (flowtable.Tables, error) {
-	sig := pc.guards.Sig(k)
+	pc.sigScratch = pc.guards.AppendSig(pc.sigScratch[:0], k)
+	sig := pc.intern.sigs.IDBytes(pc.sigScratch)
 	if t, ok := pc.local[sig]; ok {
 		pc.stats.TableHits++
 		return t, nil
@@ -332,7 +455,7 @@ func (pc *ProgramCompiler) Compile(k stateful.State) (flowtable.Tables, error) {
 		fdds := make([]*FDD, len(s.segs))
 		for j := range s.segs {
 			seg := &s.segs[j]
-			key := segMemoKey{key: seg.key, sig: seg.guards.Sig(k)}
+			key := segMemoKey{key: pc.segKeyIDs[seg.id], sig: pc.segSig(seg.id, pc.sigScratch)}
 			d, ok := pc.segMemo[key]
 			if !ok {
 				pc.stats.SegmentMisses++
@@ -362,4 +485,76 @@ func (pc *ProgramCompiler) Compile(k stateful.State) (flowtable.Tables, error) {
 	}
 	pc.local[sig] = tables
 	return tables, nil
+}
+
+// CompileAll compiles the configurations of all given states, sharding
+// the state list across workers inside the compiler itself (the layer
+// below a pool like internal/ets, which shards whole states the same
+// way but owns discovery too). Results are positional: out[i] is the
+// tables for states[i]. Workers are this compiler plus workers-1 forks
+// connected through the SharedCache, so every worker returns the
+// canonical shared instance per signature and the output is
+// byte-identical at any worker count — the same canonical-reassembly
+// argument as ets.Build, property-tested at 1/2/4/8 workers.
+func (pc *ProgramCompiler) CompileAll(states []stateful.State, workers int) ([]flowtable.Tables, error) {
+	out := make([]flowtable.Tables, len(states))
+	if workers > len(states) {
+		workers = len(states)
+	}
+	if workers <= 1 {
+		for i, k := range states {
+			t, err := pc.Compile(k)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = t
+		}
+		return out, nil
+	}
+	if pc.shared == nil {
+		// Cross-worker sharing needs a meeting point; attach one for this
+		// and future compiles.
+		pc.shared = NewSharedCache()
+	}
+	pcs := make([]*ProgramCompiler, workers)
+	pcs[0] = pc
+	for w := 1; w < workers; w++ {
+		pcs[w] = pc.Fork()
+	}
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(states) {
+					return
+				}
+				t, err := pcs[w].Compile(states[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = t
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Fold the forks' lookup counters into the root so Stats() reflects
+	// the whole run (store sizes remain the root context's own).
+	for w := 1; w < workers; w++ {
+		pc.stats.TableHits += pcs[w].stats.TableHits
+		pc.stats.TableMisses += pcs[w].stats.TableMisses
+		pc.stats.SegmentHits += pcs[w].stats.SegmentHits
+		pc.stats.SegmentMisses += pcs[w].stats.SegmentMisses
+	}
+	return out, nil
 }

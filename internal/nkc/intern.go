@@ -1,0 +1,145 @@
+package nkc
+
+// Dense interning and arena allocation: the compiler's memory/keying
+// layer. Three structures live here:
+//
+//   - Interner: a concurrency-safe string -> dense uint32 id table. Guard
+//     signatures and segment renderings are interned once, so every cache
+//     keyed by them (segment memo, SharedCache, ProgramCache entries)
+//     becomes an integer lookup with no string hashing on the per-state
+//     hot path. Ids are assigned in first-intern order and never reused;
+//     injectivity is what makes them sound cache keys (see
+//     docs/PIPELINE.md, "Interning and arena soundness").
+//
+//   - fieldIntern: a per-context (single-goroutine) field-name table used
+//     to pack (field, value) test atoms into one uint64 for hash-consing
+//     and memo keys. The canonical test *order* still compares field
+//     names (testLess); the packed form is identity only.
+//
+//   - fddArena: chunked slab storage for FDD nodes. Chunks are
+//     append-only and never reallocated, so node pointers stay stable
+//     for the life of the context while the GC sees one object per 4096
+//     nodes instead of one per node. Node identity is the dense id
+//     assigned at allocation; the slab index of a node is id itself,
+//     making id -> node resolution array indexing.
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// Interner assigns dense uint32 ids to strings. It is safe for
+// concurrent use: one Interner is shared by every fork of a
+// ProgramCompiler (and by every program in a ProgramCache generation),
+// so ids agree across workers and the SharedCache can key on them.
+type Interner struct {
+	mu  sync.Mutex
+	ids map[string]uint32
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: map[string]uint32{}}
+}
+
+// ID returns the dense id for s, assigning the next id on first sight.
+func (in *Interner) ID(s string) uint32 {
+	in.mu.Lock()
+	id, ok := in.ids[s]
+	if !ok {
+		id = uint32(len(in.ids))
+		in.ids[s] = id
+	}
+	in.mu.Unlock()
+	return id
+}
+
+// IDBytes is ID for a byte-slice key. The lookup itself does not copy
+// (Go's map[string] lookup accepts string(b) without allocating); the
+// key is materialized only on first intern.
+func (in *Interner) IDBytes(b []byte) uint32 {
+	in.mu.Lock()
+	id, ok := in.ids[string(b)]
+	if !ok {
+		id = uint32(len(in.ids))
+		in.ids[string(b)] = id
+	}
+	in.mu.Unlock()
+	return id
+}
+
+// Len returns the number of interned entries.
+func (in *Interner) Len() int {
+	in.mu.Lock()
+	n := len(in.ids)
+	in.mu.Unlock()
+	return n
+}
+
+// fieldIntern is the per-context field-atom table. Not safe for
+// concurrent use — it lives inside FDDCtx, which is single-goroutine by
+// design.
+type fieldIntern struct {
+	ids map[string]uint32
+}
+
+func newFieldIntern() fieldIntern { return fieldIntern{ids: map[string]uint32{}} }
+
+func (fi *fieldIntern) id(f string) uint32 {
+	id, ok := fi.ids[f]
+	if !ok {
+		id = uint32(len(fi.ids))
+		fi.ids[f] = id
+	}
+	return id
+}
+
+func (fi *fieldIntern) len() int { return len(fi.ids) }
+
+// packAtom packs an interned field id and a test/assignment value into
+// one uint64 key. Values must fit int32 (the same domain the dataplane's
+// flat lowering enforces); the cast is checked by the caller via
+// checkAtomValue so an out-of-range value fails loudly rather than
+// aliasing another atom.
+func packAtom(fieldID uint32, value int) uint64 {
+	return uint64(fieldID)<<32 | uint64(uint32(value))
+}
+
+// checkAtomValue panics if v cannot be packed injectively.
+func checkAtomValue(v int) {
+	if int(int32(v)) != v {
+		panic("nkc: field value outside int32 range cannot be interned")
+	}
+}
+
+// fddChunkBits sizes arena chunks at 4096 nodes.
+const fddChunkBits = 12
+
+const fddChunkSize = 1 << fddChunkBits
+
+// fddArena allocates FDD nodes from chunked slabs. Chunks are never
+// grown in place, so &chunk[i] stays valid forever; nodes are therefore
+// addressable both by pointer (the API the combinators and extraction
+// use) and by dense id (chunk = id >> fddChunkBits, slot = id & mask).
+type fddArena struct {
+	chunks [][]FDD
+	n      int
+}
+
+// alloc returns a zeroed node carrying the next dense id.
+func (a *fddArena) alloc() *FDD {
+	ci := a.n >> fddChunkBits
+	if ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]FDD, fddChunkSize))
+	}
+	d := &a.chunks[ci][a.n&(fddChunkSize-1)]
+	d.id = a.n
+	a.n++
+	return d
+}
+
+// bytes returns the slab bytes reserved so far (whole chunks, the
+// figure CacheStats reports as ArenaBytes).
+func (a *fddArena) bytes() int64 {
+	return int64(len(a.chunks)) * fddChunkSize * int64(unsafe.Sizeof(FDD{}))
+}

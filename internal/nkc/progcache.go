@@ -51,8 +51,10 @@ type ProgramCache struct {
 	mu      chan struct{} // 1-buffered semaphore: held from Acquire to Release
 	ctx     *FDDCtx
 	segMemo map[segMemoKey]*FDD
+	intern  *compilerInterns
 	entries map[string]*progEntry
 	resets  int
+	arenaHW int64 // largest arena seen across generations
 }
 
 // NewProgramCache returns an empty cross-generation compiler cache.
@@ -61,6 +63,7 @@ func NewProgramCache() *ProgramCache {
 		mu:      make(chan struct{}, 1),
 		ctx:     NewFDDCtx(),
 		segMemo: map[segMemoKey]*FDD{},
+		intern:  newCompilerInterns(),
 		entries: map[string]*progEntry{},
 	}
 	return c
@@ -111,12 +114,16 @@ func (c *ProgramCache) Acquire(b Backend, cmd stateful.Cmd, t *topo.Topology) (*
 		return e.root, e.shared, nil
 	}
 	if len(c.entries) >= programCacheLimit {
-		// Entries hold FDD pointers into the shared context: evicting any
-		// of them safely means dropping the context, so reset wholesale. A
-		// controller cycling through more than programCacheLimit live
-		// programs simply starts a fresh cache generation.
+		// Entries hold FDD pointers into the shared context, and interned
+		// ids are pinned by segMemo keys and SharedCache keys: evicting any
+		// entry safely means dropping the context and interners with it, so
+		// reset wholesale. A controller cycling through more than
+		// programCacheLimit live programs simply starts a fresh cache
+		// generation.
+		c.noteArena()
 		c.ctx = NewFDDCtx()
 		c.segMemo = map[segMemoKey]*FDD{}
+		c.intern = newCompilerInterns()
 		c.entries = map[string]*progEntry{}
 		c.resets++
 	}
@@ -129,13 +136,35 @@ func (c *ProgramCache) Acquire(b Backend, cmd stateful.Cmd, t *topo.Topology) (*
 		root.ctx = c.ctx
 		root.segMemo = c.segMemo
 	}
+	root.adoptInterns(c.intern)
 	e := &progEntry{root: root, shared: root.shared}
 	c.entries[key] = e
 	return e.root, e.shared, nil
 }
 
+// noteArena records the current arena size into the high-water mark.
+// Callers must hold the acquisition.
+func (c *ProgramCache) noteArena() {
+	if b := c.ctx.ArenaBytes(); b > c.arenaHW {
+		c.arenaHW = b
+	}
+}
+
 // Release ends an acquisition started by Acquire.
-func (c *ProgramCache) Release() { <-c.mu }
+func (c *ProgramCache) Release() {
+	c.noteArena()
+	<-c.mu
+}
+
+// ArenaHighWater returns the largest FDD arena seen across cache
+// generations — the compiler-memory figure obs reports alongside the
+// current arena size.
+func (c *ProgramCache) ArenaHighWater() int64 {
+	c.mu <- struct{}{}
+	n := c.arenaHW
+	<-c.mu
+	return n
+}
 
 // Len returns the number of distinct programs currently cached.
 func (c *ProgramCache) Len() int {

@@ -104,6 +104,9 @@ const (
 	GaugeDeliveryLog          // retained deliveries (incl. unmerged tails)
 	GaugeFDDNodes             // compiler hash-consed node store size
 	GaugeStrands              // compiler distinct strand executions
+	GaugeInternEntries        // compiler interner entries (atoms + keys + sigs)
+	GaugeArenaBytes           // compiler FDD arena slab bytes
+	GaugeArenaHighWater       // largest arena across cache generations
 	GaugeWatchSubscribers
 	GaugeWatchDropped  // events dropped across all /watch subscribers
 	GaugeTracePending  // journeys currently being stitched
@@ -121,6 +124,9 @@ var gaugeNames = [numGauges]string{
 	GaugeDeliveryLog:      "delivery_log",
 	GaugeFDDNodes:         "compiler_fdd_nodes",
 	GaugeStrands:          "compiler_strands",
+	GaugeInternEntries:    "compiler_intern_entries",
+	GaugeArenaBytes:       "compiler_arena_bytes",
+	GaugeArenaHighWater:   "compiler_arena_high_water_bytes",
 	GaugeWatchSubscribers: "watch_subscribers",
 	GaugeWatchDropped:     "watch_dropped",
 	GaugeTracePending:     "trace_pending_journeys",
@@ -137,6 +143,9 @@ var gaugeHelp = [numGauges]string{
 	GaugeDeliveryLog:      "Deliveries retained in the engine log.",
 	GaugeFDDNodes:         "Hash-consed FDD node store size of the compiler cache.",
 	GaugeStrands:          "Distinct symbolic strand executions in the compiler cache.",
+	GaugeInternEntries:    "Dense-interner entries in the compiler cache (field/value atoms, segment keys, guard signatures).",
+	GaugeArenaBytes:       "FDD arena slab bytes allocated by the compiler cache.",
+	GaugeArenaHighWater:   "Largest FDD arena observed across compiler cache generations.",
 	GaugeWatchSubscribers: "Active /watch stream subscribers.",
 	GaugeWatchDropped:     "Events dropped to slow /watch consumers (cumulative).",
 	GaugeTracePending:     "Sampled journeys currently being stitched.",

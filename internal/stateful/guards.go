@@ -81,13 +81,28 @@ func (g *GuardIndex) Sig(k State) string {
 	if len(g.tests) == 0 {
 		return ""
 	}
-	b := make([]byte, (len(g.tests)+7)/8)
+	return string(g.AppendSig(nil, k))
+}
+
+// AppendSig appends the packed truth vector (the Sig encoding) to dst
+// and returns the extended slice. Callers on the compilation hot path
+// reuse one scratch buffer across states instead of allocating a string
+// per lookup; the interner turns the bytes into a dense id without
+// copying on hits.
+func (g *GuardIndex) AppendSig(dst []byte, k State) []byte {
+	if len(g.tests) == 0 {
+		return dst
+	}
+	off := len(dst)
+	for n := (len(g.tests) + 7) / 8; n > 0; n-- {
+		dst = append(dst, 0)
+	}
 	for i, t := range g.tests {
 		if k.Get(t.Index) == t.Value {
-			b[i/8] |= 1 << uint(i%8)
+			dst[off+i/8] |= 1 << uint(i%8)
 		}
 	}
-	return string(b)
+	return dst
 }
 
 // Diff returns the tests whose truth value differs between states a and
